@@ -1,0 +1,234 @@
+package quartz
+
+// Benchmark harness: one testing.B benchmark per paper artifact (tables and
+// figures of the evaluation, §4, plus the §3.2 overhead accounting and the
+// design ablations). Each benchmark regenerates its artifact at Quick scale
+// and reports the headline number as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// exercises the complete reproduction. Full-scale numbers for EXPERIMENTS.md
+// come from `go run ./cmd/quartzbench -exp all -scale full`.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/quartz-emu/quartz/internal/experiments"
+	"github.com/quartz-emu/quartz/internal/machine"
+	"github.com/quartz-emu/quartz/internal/sim"
+	"github.com/quartz-emu/quartz/internal/simos"
+)
+
+// runExperiment regenerates one artifact per iteration and reports the mean
+// of the last column the extractor selects.
+func runExperiment(b *testing.B, id string, metric string, extract func(experiments.Table) float64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.Run(id, experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+		if extract != nil {
+			b.ReportMetric(extract(table), metric)
+		}
+	}
+}
+
+// meanPercentColumn averages a "12.34%"-formatted column.
+func meanPercentColumn(col int) func(experiments.Table) float64 {
+	return func(t experiments.Table) float64 {
+		var sum float64
+		var n int
+		for _, row := range t.Rows {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimPrefix(row[col], "+"), "%"), 64)
+			if err != nil {
+				continue
+			}
+			if v < 0 {
+				v = -v
+			}
+			sum += v
+			n++
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+}
+
+func BenchmarkTable1Events(b *testing.B) {
+	runExperiment(b, "table1", "", nil)
+}
+
+func BenchmarkTable2Latencies(b *testing.B) {
+	runExperiment(b, "table2", "", nil)
+}
+
+func BenchmarkFig8Throttle(b *testing.B) {
+	runExperiment(b, "fig8", "", nil)
+}
+
+func BenchmarkFig11MemLatMLP(b *testing.B) {
+	runExperiment(b, "fig11", "mean-err-%", meanPercentColumn(4))
+}
+
+func BenchmarkFig12LatencySweep(b *testing.B) {
+	runExperiment(b, "fig12", "mean-err-%", meanPercentColumn(5))
+}
+
+func BenchmarkFig13MultiThreaded(b *testing.B) {
+	runExperiment(b, "fig13", "", nil)
+}
+
+func BenchmarkFig14MultiLat(b *testing.B) {
+	runExperiment(b, "fig14", "mean-err-%", meanPercentColumn(6))
+}
+
+func BenchmarkFig15KVStore(b *testing.B) {
+	runExperiment(b, "fig15", "mean-err-%", meanPercentColumn(1))
+}
+
+func BenchmarkFig16Sensitivity(b *testing.B) {
+	runExperiment(b, "fig16", "", nil)
+}
+
+func BenchmarkPageRankValidation(b *testing.B) {
+	runExperiment(b, "pagerank-validate", "err-%", meanPercentColumn(2))
+}
+
+func BenchmarkEpochOverhead(b *testing.B) {
+	runExperiment(b, "overhead", "", nil)
+}
+
+func BenchmarkEpochSizeSweep(b *testing.B) {
+	runExperiment(b, "epoch-size", "mean-err-%", meanPercentColumn(3))
+}
+
+func BenchmarkModelAblation(b *testing.B) {
+	runExperiment(b, "model-ablation", "", nil)
+}
+
+func BenchmarkPCommitAblation(b *testing.B) {
+	runExperiment(b, "pcommit", "", nil)
+}
+
+func BenchmarkAmortizationAblation(b *testing.B) {
+	runExperiment(b, "amortization", "", nil)
+}
+
+// --- simulator micro-benchmarks (engine throughput, not paper artifacts) ---
+
+// BenchmarkSimLoadMiss measures the host cost of one simulated demand miss.
+func BenchmarkSimLoadMiss(b *testing.B) {
+	m, err := machine.NewPreset(machine.XeonE5_2660v2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := simos.NewProcess(m, simos.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := p.Malloc(1 << 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	err = p.Run(func(t *simos.Thread) {
+		for i := 0; i < b.N; i++ {
+			t.Load(base + uintptr(i%(1<<24))*64)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSimLoadHit measures the host cost of a simulated L1 hit.
+func BenchmarkSimLoadHit(b *testing.B) {
+	m, err := machine.NewPreset(machine.XeonE5_2660v2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := simos.NewProcess(m, simos.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := p.Malloc(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	err = p.Run(func(t *simos.Thread) {
+		for i := 0; i < b.N; i++ {
+			t.Load(base)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSimContextSwitch measures a strict two-thread ping-pong: the cost
+// of one scheduler handoff.
+func BenchmarkSimContextSwitch(b *testing.B) {
+	m, err := machine.NewPreset(machine.XeonE5_2660v2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := simos.NewProcess(m, simos.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	err = p.Run(func(t *simos.Thread) {
+		other, err := t.CreateThread("pong", func(t2 *simos.Thread) {
+			for i := 0; i < b.N; i++ {
+				t2.Compute(10)
+				t2.YieldStrict()
+			}
+		})
+		if err != nil {
+			t.Failf("create: %v", err)
+		}
+		for i := 0; i < b.N; i++ {
+			t.Compute(10)
+			t.YieldStrict()
+		}
+		t.Join(other)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEmulatedLoad measures the host cost of a simulated miss under an
+// attached emulator (epoch machinery live).
+func BenchmarkEmulatedLoad(b *testing.B) {
+	sys, err := NewSystem(IvyBridge, Config{
+		NVMLatency: Nanoseconds(500),
+		InitCycles: 1,
+		MaxEpoch:   sim.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := sys.PMalloc(1 << 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	err = sys.Run(func(t *Thread) {
+		for i := 0; i < b.N; i++ {
+			t.Load(base + uintptr(i%(1<<24))*64)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+// Command quartzbench regenerates the paper's evaluation artifacts: every
+// table and figure of §4 plus the §3.2 overhead accounting and the design
+// ablations, printed as text tables.
+//
+// Usage:
+//
+//	quartzbench -list
+//	quartzbench -exp fig11,fig12 -scale quick
+//	quartzbench -exp all -scale full -o results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/quartz-emu/quartz/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		expFlag   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scaleFlag = flag.String("scale", "quick", "sweep scale: quick or full")
+		outFlag   = flag.String("o", "", "also write output to this file")
+		listFlag  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, id := range experiments.All() {
+			fmt.Println(id)
+		}
+		return 0
+	}
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "quartzbench: unknown scale %q (quick|full)\n", *scaleFlag)
+		return 2
+	}
+
+	ids := experiments.All()
+	if *expFlag != "all" {
+		ids = strings.Split(*expFlag, ",")
+	}
+
+	var out io.Writer = os.Stdout
+	if *outFlag != "" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quartzbench: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "quartzbench: closing output: %v\n", err)
+			}
+		}()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	fmt.Fprintf(out, "quartz evaluation suite (scale=%s, trials=%d)\n\n", *scaleFlag, scale.Trials)
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		table, err := experiments.Run(id, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quartzbench: %s: %v\n", id, err)
+			return 1
+		}
+		fmt.Fprint(out, table.Render())
+		fmt.Fprintf(out, "(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+	return 0
+}

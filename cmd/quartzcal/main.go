@@ -1,0 +1,111 @@
+// Command quartzcal is the bandwidth-calibration helper of §3.1: for each
+// thermal-control register value it measures the maximum attainable memory
+// bandwidth by streaming through a large region with several SSE-style
+// streaming threads, and prints the table the user-mode library later uses
+// to map a target NVM bandwidth to a register value.
+//
+// Usage:
+//
+//	quartzcal -preset sandybridge -points 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/quartz-emu/quartz/internal/bench"
+	"github.com/quartz-emu/quartz/internal/kmod"
+	"github.com/quartz-emu/quartz/internal/machine"
+	"github.com/quartz-emu/quartz/internal/mem"
+	"github.com/quartz-emu/quartz/internal/sim"
+	"github.com/quartz-emu/quartz/internal/simos"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		presetFlag = flag.String("preset", "sandybridge", "sandybridge|ivybridge|haswell")
+		points     = flag.Int("points", 16, "number of register values to calibrate")
+		lines      = flag.Int("lines", 1<<16, "stream length in cache lines")
+		threads    = flag.Int("threads", 4, "streaming threads")
+	)
+	flag.Parse()
+
+	var preset machine.Preset
+	switch *presetFlag {
+	case "sandybridge":
+		preset = machine.XeonE5_2450
+	case "ivybridge":
+		preset = machine.XeonE5_2660v2
+	case "haswell":
+		preset = machine.XeonE5_2650v3
+	default:
+		fmt.Fprintf(os.Stderr, "quartzcal: unknown preset %q\n", *presetFlag)
+		return 2
+	}
+
+	table, err := calibrate(preset, *points, *lines, *threads)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quartzcal: %v\n", err)
+		return 1
+	}
+	fmt.Printf("# bandwidth calibration for %v\n", preset)
+	fmt.Printf("# register  bytes/sec\n")
+	for _, p := range table {
+		fmt.Printf("%6d  %.4g\n", p.Register, p.Bandwidth)
+	}
+	for _, target := range []float64{1e9, 5e9, 10e9, 20e9} {
+		reg, err := table.RegisterFor(target)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quartzcal: %v\n", err)
+			return 1
+		}
+		fmt.Printf("# target %.3g B/s -> register %d\n", target, reg)
+	}
+	return 0
+}
+
+// calibrate measures attainable bandwidth per register value, each on a
+// fresh machine (cold caches), exactly as the paper's helper program does.
+func calibrate(preset machine.Preset, points, lines, threads int) (kmod.CalibrationTable, error) {
+	if points < 2 {
+		points = 2
+	}
+	var table kmod.CalibrationTable
+	step := (mem.RegisterMax + 1) / points
+	for reg := step; reg <= mem.RegisterMax+1; reg += step {
+		r := uint16(min(reg, mem.RegisterMax))
+		env, err := bench.NewEnv(bench.EnvConfig{
+			Preset: preset, Mode: bench.Native, Lookahead: 5 * sim.Microsecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		km, err := kmod.Open(env.Mach)
+		if err != nil {
+			return nil, err
+		}
+		if err := km.SetThrottleAll(r); err != nil {
+			return nil, err
+		}
+		var res bench.StreamResult
+		err = env.Run(func(e *bench.Env, th *simos.Thread) {
+			var rerr error
+			res, rerr = bench.RunStream(e, th, bench.StreamConfig{
+				Lines: lines, Threads: threads, Node: 0,
+			})
+			if rerr != nil {
+				th.Failf("%v", rerr)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		table = append(table, kmod.CalPoint{Register: r, Bandwidth: res.BytesPerSec})
+	}
+	return table, nil
+}

@@ -1,0 +1,276 @@
+// Command quartzrun executes one workload under configurable Quartz
+// emulation and prints its measurements plus the emulator's §3.2 statistics
+// feedback — the moral equivalent of the real project's
+// `LD_PRELOAD=libnvmemul.so ./app` with an nvmemul.ini.
+//
+// Usage:
+//
+//	quartzrun -workload memlat -nvm-lat 500
+//	quartzrun -workload kvstore -threads 4 -nvm-lat 300 -nvm-bw 2e9
+//	quartzrun -workload pagerank -mode physical-remote
+//	quartzrun -workload multilat -two-memory -nvm-lat 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/quartz-emu/quartz/internal/apps/graph500"
+	"github.com/quartz-emu/quartz/internal/apps/kvstore"
+	"github.com/quartz-emu/quartz/internal/apps/pagerank"
+	"github.com/quartz-emu/quartz/internal/bench"
+	"github.com/quartz-emu/quartz/internal/core"
+	"github.com/quartz-emu/quartz/internal/machine"
+	"github.com/quartz-emu/quartz/internal/sim"
+	"github.com/quartz-emu/quartz/internal/simos"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+type flags struct {
+	workload   string
+	preset     string
+	mode       string
+	nvmLatNS   float64
+	nvmBW      float64
+	writeNS    float64
+	threads    int
+	iters      int
+	lines      int
+	minEpoch   float64 // ms
+	maxEpoch   float64 // ms
+	twoMemory  bool
+	injectOff  bool
+	modelStr   string
+	seed       int64
+	configPath string
+}
+
+func run() int {
+	var f flags
+	flag.StringVar(&f.workload, "workload", "memlat", "memlat|stream|multithreaded|multilat|kvstore|pagerank|bfs")
+	flag.StringVar(&f.preset, "preset", "ivybridge", "sandybridge|ivybridge|haswell")
+	flag.StringVar(&f.mode, "mode", "emulated", "native|physical-remote|emulated")
+	flag.Float64Var(&f.nvmLatNS, "nvm-lat", 500, "target NVM latency (ns)")
+	flag.Float64Var(&f.nvmBW, "nvm-bw", 0, "NVM bandwidth cap (bytes/s, 0 = unthrottled)")
+	flag.Float64Var(&f.writeNS, "write-lat", 0, "pflush write delay (ns, 0 = NVM-DRAM gap)")
+	flag.IntVar(&f.threads, "threads", 1, "worker threads")
+	flag.IntVar(&f.iters, "iters", 100_000, "iterations / operations")
+	flag.IntVar(&f.lines, "lines", 1<<20, "working-set cache lines")
+	flag.Float64Var(&f.minEpoch, "min-epoch", 0.1, "minimum epoch (ms)")
+	flag.Float64Var(&f.maxEpoch, "max-epoch", 10, "maximum epoch (ms)")
+	flag.BoolVar(&f.twoMemory, "two-memory", false, "DRAM+NVM virtual topology (§3.3)")
+	flag.BoolVar(&f.injectOff, "switch-off-injection", false, "compute but do not inject delays (§3.2)")
+	flag.StringVar(&f.modelStr, "model", "stall", "latency model: stall (Eq.2) | simple (Eq.1)")
+	flag.Int64Var(&f.seed, "seed", 42, "workload seed")
+	flag.StringVar(&f.configPath, "config", "", "nvmemul.ini-style config file (overrides latency/bandwidth/epoch/model flags)")
+	flag.Parse()
+
+	if err := execute(f); err != nil {
+		fmt.Fprintf(os.Stderr, "quartzrun: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func parsePreset(s string) (machine.Preset, error) {
+	switch s {
+	case "sandybridge":
+		return machine.XeonE5_2450, nil
+	case "ivybridge":
+		return machine.XeonE5_2660v2, nil
+	case "haswell":
+		return machine.XeonE5_2650v3, nil
+	default:
+		return 0, fmt.Errorf("unknown preset %q", s)
+	}
+}
+
+func parseMode(s string) (bench.Mode, error) {
+	switch s {
+	case "native":
+		return bench.Native, nil
+	case "physical-remote":
+		return bench.PhysicalRemote, nil
+	case "emulated":
+		return bench.Emulated, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func execute(f flags) error {
+	preset, err := parsePreset(f.preset)
+	if err != nil {
+		return err
+	}
+	mode, err := parseMode(f.mode)
+	if err != nil {
+		return err
+	}
+	model := core.ModelStall
+	if f.modelStr == "simple" {
+		model = core.ModelSimple
+	} else if f.modelStr != "stall" {
+		return fmt.Errorf("unknown model %q", f.modelStr)
+	}
+
+	q := core.Config{
+		NVMLatency:   sim.FromNanos(f.nvmLatNS),
+		NVMBandwidth: f.nvmBW,
+		WriteLatency: sim.FromNanos(f.writeNS),
+		MinEpoch:     sim.Time(f.minEpoch * float64(sim.Millisecond)),
+		MaxEpoch:     sim.Time(f.maxEpoch * float64(sim.Millisecond)),
+		Model:        model,
+		TwoMemory:    f.twoMemory,
+		InjectionOff: f.injectOff,
+	}
+	if f.configPath != "" {
+		q, err = core.LoadINIFile(f.configPath)
+		if err != nil {
+			return err
+		}
+	}
+	env, err := bench.NewEnv(bench.EnvConfig{
+		Preset: preset, Mode: mode, Quartz: q,
+		Lookahead: 2 * sim.Microsecond,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("machine: %s  mode: %s  workload: %s\n", env.Mach.Config().Name, mode, f.workload)
+	if mode == bench.Emulated {
+		fmt.Printf("emulator: %s\n", env.Emu)
+	}
+
+	if err := dispatch(env, f); err != nil {
+		return err
+	}
+
+	if env.Emu != nil {
+		st := env.Emu.Stats()
+		fmt.Printf("\nemulator stats: epochs=%d (max=%d sync=%d) injected=%v overhead=%v\n",
+			st.Epochs, st.MaxEpochs, st.SyncEpochs, st.Injected, st.Overhead)
+		fmt.Printf("feedback: %s\n", st.Suggestion())
+	}
+	return nil
+}
+
+func dispatch(env *bench.Env, f flags) error {
+	switch f.workload {
+	case "memlat":
+		ml, err := bench.BuildMemLat(env.Proc, bench.MemLatConfig{
+			Lines: f.lines, Chains: f.threads, Iters: f.iters,
+			Node: env.AllocNode(), Seed: f.seed,
+		})
+		if err != nil {
+			return err
+		}
+		return env.Run(func(e *bench.Env, th *simos.Thread) {
+			start := th.Now()
+			res := ml.Run(th)
+			e.CloseEpoch(th)
+			ct := th.Now() - start
+			fmt.Printf("memlat: CT=%v  per-iteration=%.1fns  accesses=%d\n",
+				ct, (ct / sim.Time(f.iters)).Nanoseconds(), res.Accesses)
+		})
+	case "stream":
+		return env.Run(func(e *bench.Env, th *simos.Thread) {
+			res, err := bench.RunStream(e, th, bench.StreamConfig{
+				Lines: f.lines, Threads: max(1, f.threads), Node: env.AllocNode(),
+			})
+			if err != nil {
+				th.Failf("%v", err)
+			}
+			fmt.Printf("stream: CT=%v  copy=%.2f GB/s\n", res.CT, res.BytesPerSec/1e9)
+		})
+	case "multithreaded":
+		return env.Run(func(e *bench.Env, th *simos.Thread) {
+			res, err := bench.RunMultiThreaded(e, th, bench.MTConfig{
+				Threads: max(2, f.threads), Sections: f.iters / 100,
+				CSDur: 100, OutDur: 100, Lines: f.lines / 4,
+				Node: env.AllocNode(), Seed: f.seed,
+			})
+			if err != nil {
+				th.Failf("%v", err)
+			}
+			fmt.Printf("multithreaded: CT=%v\n", res.CT)
+		})
+	case "multilat":
+		if env.Emu == nil || !env.Emu.Config().TwoMemory {
+			return fmt.Errorf("multilat needs -mode emulated -two-memory")
+		}
+		ml, err := bench.BuildMultiLat(env.Proc, env.Emu, bench.MultiLatConfig{
+			DRAMLines: f.lines / 8, NVMLines: f.lines / 16,
+			DRAMBurst: 2000, NVMBurst: 1000, Seed: f.seed,
+		})
+		if err != nil {
+			return err
+		}
+		return env.Run(func(e *bench.Env, th *simos.Thread) {
+			start := th.Now()
+			res := ml.Run(th, env.Mach.Config().LocalLat, env.Emu.Config().NVMLatency)
+			e.CloseEpoch(th)
+			res.CT = th.Now() - start
+			fmt.Printf("multilat: CT=%v  expected=%v  error=%.2f%%\n",
+				res.CT, res.ExpectedCT,
+				100*float64(res.CT-res.ExpectedCT)/float64(res.ExpectedCT))
+		})
+	case "kvstore":
+		alloc := env.Proc.Malloc
+		if env.Emu != nil {
+			alloc = env.Emu.PMalloc
+		}
+		store, err := kvstore.New(env.Proc, kvstore.Config{Partitions: 16, Alloc: alloc})
+		if err != nil {
+			return err
+		}
+		return env.Run(func(e *bench.Env, th *simos.Thread) {
+			res, err := kvstore.RunWorkload(store, th, kvstore.WorkloadConfig{
+				Preload: f.iters / 2, Threads: max(1, f.threads),
+				OpsPerThread: f.iters, GetFraction: 0.5, Seed: uint64(f.seed),
+			}, e.CloseEpoch)
+			if err != nil {
+				th.Failf("%v", err)
+			}
+			fmt.Printf("kvstore: CT=%v  put/s=%.0f  get/s=%.0f\n", res.CT, res.PutsPerS, res.GetsPerS)
+		})
+	case "pagerank", "bfs":
+		alloc := func(size uintptr) (uintptr, error) {
+			return env.Proc.MallocOnNode(size, env.AllocNode())
+		}
+		if env.Emu != nil && env.Emu.Config().TwoMemory {
+			alloc = env.Emu.PMalloc // graph in NVM
+		}
+		g, err := pagerank.Generate(pagerank.GenerateConfig{
+			Vertices: max(1000, f.iters/10), EdgesPerVertex: 8, Seed: uint64(f.seed),
+		}, alloc)
+		if err != nil {
+			return err
+		}
+		return env.Run(func(e *bench.Env, th *simos.Thread) {
+			if f.workload == "bfs" {
+				res, err := graph500.BFS(g, th, 0, alloc)
+				if err != nil {
+					th.Failf("%v", err)
+				}
+				fmt.Printf("bfs: CT=%v  visited=%d  edges=%d  TEPS=%.3g\n",
+					res.CT, res.Visited, res.EdgesTraversed, res.TEPS)
+				return
+			}
+			res, err := pagerank.Run(g, th, pagerank.DefaultConfig(), alloc)
+			if err != nil {
+				th.Failf("%v", err)
+			}
+			e.CloseEpoch(th)
+			fmt.Printf("pagerank: CT=%v  iterations=%d  residual=%.3g\n",
+				res.CT, res.Iterations, res.Error)
+		})
+	default:
+		return fmt.Errorf("unknown workload %q", f.workload)
+	}
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/quartz-emu/quartz/internal/bench"
+	"github.com/quartz-emu/quartz/internal/machine"
+)
+
+func TestParsePreset(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    machine.Preset
+		wantErr bool
+	}{
+		{"sandybridge", machine.XeonE5_2450, false},
+		{"ivybridge", machine.XeonE5_2660v2, false},
+		{"haswell", machine.XeonE5_2650v3, false},
+		{"skylake", 0, true},
+		{"", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := parsePreset(tt.in)
+		if (err != nil) != tt.wantErr || got != tt.want {
+			t.Errorf("parsePreset(%q) = %v, %v", tt.in, got, err)
+		}
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    bench.Mode
+		wantErr bool
+	}{
+		{"native", bench.Native, false},
+		{"physical-remote", bench.PhysicalRemote, false},
+		{"emulated", bench.Emulated, false},
+		{"hardware", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := parseMode(tt.in)
+		if (err != nil) != tt.wantErr || got != tt.want {
+			t.Errorf("parseMode(%q) = %v, %v", tt.in, got, err)
+		}
+	}
+}
+
+func TestExecuteRejectsBadFlags(t *testing.T) {
+	base := flags{
+		workload: "memlat", preset: "ivybridge", mode: "emulated",
+		nvmLatNS: 300, threads: 1, iters: 100, lines: 1 << 14,
+		minEpoch: 0.1, maxEpoch: 1, modelStr: "stall",
+	}
+	bad := base
+	bad.preset = "pentium"
+	if err := execute(bad); err == nil {
+		t.Error("bad preset accepted")
+	}
+	bad = base
+	bad.mode = "quantum"
+	if err := execute(bad); err == nil {
+		t.Error("bad mode accepted")
+	}
+	bad = base
+	bad.modelStr = "guess"
+	if err := execute(bad); err == nil {
+		t.Error("bad model accepted")
+	}
+	bad = base
+	bad.workload = "mystery"
+	if err := execute(bad); err == nil {
+		t.Error("bad workload accepted")
+	}
+	bad = base
+	bad.workload = "multilat" // requires -two-memory
+	if err := execute(bad); err == nil {
+		t.Error("multilat without two-memory accepted")
+	}
+}
+
+func TestExecuteRunsSmallMemLat(t *testing.T) {
+	f := flags{
+		workload: "memlat", preset: "ivybridge", mode: "emulated",
+		nvmLatNS: 300, threads: 1, iters: 2_000, lines: 1 << 15,
+		minEpoch: 0.05, maxEpoch: 0.5, modelStr: "stall",
+	}
+	if err := execute(f); err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+}

@@ -1,0 +1,108 @@
+// Two-tier memory placement: the §3.3 DRAM+NVM design-space study. The
+// emulator's virtual topology backs pmalloc with the remote socket, so the
+// same PageRank computation can be run with three data placements:
+//
+//  1. everything in DRAM (the upper bound),
+//  2. everything in NVM (the naive port),
+//  3. hot rank vectors in DRAM + the large, cold graph in NVM
+//     (the placement §3.3 argues application designers should reach for).
+//
+// The output shows placement 3 recovering most of the DRAM-only performance
+// while keeping the big array in cheap persistent memory.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/quartz-emu/quartz"
+	"github.com/quartz-emu/quartz/internal/apps/pagerank"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "twotier example: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const nvmLatNS = 500
+	fmt.Printf("PageRank with two memory types (NVM emulated at %dns, Ivy Bridge)\n\n", nvmLatNS)
+	fmt.Printf("%-34s  %-10s  %s\n", "placement", "CT (ms)", "vs all-DRAM")
+
+	type placement struct {
+		name       string
+		graphInNVM bool
+		ranksInNVM bool
+	}
+	placements := []placement{
+		{"all in DRAM", false, false},
+		{"all in NVM", true, true},
+		{"graph in NVM, rank vectors in DRAM", true, false},
+	}
+
+	var base float64
+	for _, pl := range placements {
+		ct, err := runPlacement(nvmLatNS, pl.graphInNVM, pl.ranksInNVM)
+		if err != nil {
+			return fmt.Errorf("%s: %w", pl.name, err)
+		}
+		if base == 0 {
+			base = ct
+		}
+		fmt.Printf("%-34s  %-10.2f  %.2fx\n", pl.name, ct, ct/base)
+	}
+	fmt.Println()
+	fmt.Println("keeping only the hot vectors in DRAM recovers most of the all-DRAM")
+	fmt.Println("performance: the streaming edge reads prefetch well even from slow NVM.")
+	return nil
+}
+
+func runPlacement(nvmLatNS float64, graphInNVM, ranksInNVM bool) (float64, error) {
+	// A scaled testbed: the Ivy Bridge preset with its L3 shrunk so the
+	// graph and rank vectors relate to the cache the way the paper's
+	// 4.8M-vertex graph relates to a 25 MiB L3 (see DESIGN.md §6).
+	mcfg := quartz.PresetMachineConfig(quartz.IvyBridge)
+	mcfg.L3.SizeBytes = 256 << 10
+	mcfg.L3.Ways = 16
+	sys, err := quartz.NewCustomSystem(mcfg, quartz.Config{
+		NVMLatency: quartz.Nanoseconds(nvmLatNS),
+		TwoMemory:  true, // virtual topology: socket 1 backs pmalloc (§3.3)
+		InitCycles: 1,
+	})
+	if err != nil {
+		return 0, err
+	}
+	dram := sys.Malloc
+	nvm := sys.PMalloc
+	graphAlloc, rankAlloc := dram, dram
+	if graphInNVM {
+		graphAlloc = nvm
+	}
+	if ranksInNVM {
+		rankAlloc = nvm
+	}
+
+	g, err := pagerank.Generate(pagerank.GenerateConfig{
+		Vertices:       20_000,
+		EdgesPerVertex: 8,
+		Seed:           3,
+	}, graphAlloc)
+	if err != nil {
+		return 0, err
+	}
+	var ctMS float64
+	err = sys.Run(func(t *quartz.Thread) {
+		cfg := pagerank.DefaultConfig()
+		cfg.MaxIters = 10
+		cfg.RankAlloc = rankAlloc
+		start := t.Now()
+		if _, rerr := pagerank.Run(g, t, cfg, graphAlloc); rerr != nil {
+			t.Failf("pagerank: %v", rerr)
+		}
+		sys.Emulator.CloseEpoch(t)
+		ctMS = (t.Now() - start).Milliseconds()
+	})
+	return ctMS, err
+}

@@ -1,0 +1,3 @@
+module github.com/quartz-emu/quartz
+
+go 1.22

@@ -1,0 +1,198 @@
+package kvstore
+
+import (
+	"fmt"
+
+	"github.com/quartz-emu/quartz/internal/sim"
+	"github.com/quartz-emu/quartz/internal/simos"
+)
+
+// WorkloadConfig drives the §4.7 put/get experiment.
+type WorkloadConfig struct {
+	// Preload is the number of keys loaded before measurement.
+	Preload int
+	// Threads is the number of client threads (the paper runs 1,2,4,8).
+	Threads int
+	// OpsPerThread is the measured operation count per thread.
+	OpsPerThread int
+	// GetFraction in [0,1] splits the op mix (0.5 = the usual 50/50).
+	GetFraction float64
+	// KeySpace bounds generated keys; 0 defaults to 4x Preload.
+	KeySpace uint64
+	// ValueBytes, when positive, attaches a payload of that size to every
+	// key in a separate arena: gets read it, puts write it. This is what
+	// makes the workload memory-bound the way a production store's values
+	// are (tree nodes alone can be cache-resident).
+	ValueBytes int
+	// ValueAlloc places the payload arena; required when ValueBytes > 0.
+	ValueAlloc Alloc
+	// Seed drives the operation streams.
+	Seed uint64
+}
+
+// Validate reports configuration errors.
+func (c WorkloadConfig) Validate() error {
+	if c.Preload < 0 || c.Threads <= 0 || c.OpsPerThread <= 0 {
+		return fmt.Errorf("kvstore: bad workload %+v", c)
+	}
+	if c.GetFraction < 0 || c.GetFraction > 1 {
+		return fmt.Errorf("kvstore: GetFraction %g outside [0,1]", c.GetFraction)
+	}
+	if c.ValueBytes > 0 && c.ValueAlloc == nil {
+		return fmt.Errorf("kvstore: ValueBytes set without ValueAlloc")
+	}
+	return nil
+}
+
+// WorkloadResult reports measured throughput in simulated time.
+type WorkloadResult struct {
+	CT       sim.Time
+	Puts     int64
+	Gets     int64
+	PutsPerS float64
+	GetsPerS float64
+}
+
+// RunWorkload preloads the store and drives the put/get mix from Threads
+// client threads spawned off main. closeEpoch, when non-nil, is invoked per
+// worker before its final timestamp (the emulator's CloseEpoch) so trailing
+// epoch delays land inside the measured window.
+func RunWorkload(s *Store, main *simos.Thread, cfg WorkloadConfig, closeEpoch func(*simos.Thread)) (WorkloadResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return WorkloadResult{}, err
+	}
+	keySpace := cfg.KeySpace
+	if keySpace == 0 {
+		keySpace = uint64(4*cfg.Preload + 16)
+	}
+	// Payload arena: one slot per possible key.
+	var arena uintptr
+	if cfg.ValueBytes > 0 {
+		var err error
+		arena, err = cfg.ValueAlloc(uintptr(keySpace) * uintptr(cfg.ValueBytes))
+		if err != nil {
+			return WorkloadResult{}, fmt.Errorf("kvstore: payload arena: %w", err)
+		}
+	}
+	touchValue := func(t *simos.Thread, key uint64, write bool) {
+		if arena == 0 {
+			return
+		}
+		addr := arena + uintptr(key)*uintptr(cfg.ValueBytes)
+		lines := (cfg.ValueBytes + 63) / 64
+		if lines > 2 {
+			lines = 2 // ops touch the head of large values
+		}
+		for l := 0; l < lines; l++ {
+			if write {
+				t.Store(addr + uintptr(l*64))
+			} else {
+				t.Load(addr + uintptr(l*64))
+			}
+		}
+	}
+
+	rng := cfg.Seed*2862933555777941757 + 3037000493
+	nextRand := func() uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng >> 11
+	}
+	for i := 0; i < cfg.Preload; i++ {
+		key := nextRand() % keySpace
+		if err := s.Put(main, key, uint64(i)); err != nil {
+			return WorkloadResult{}, fmt.Errorf("kvstore: preload: %w", err)
+		}
+		touchValue(main, key, true)
+	}
+
+	// Start rendezvous: every worker checks in after it is created and
+	// (under an emulator) registered; only then does main open the measured
+	// window and release them — exactly how a real benchmark separates
+	// setup costs like thread registration from measurement.
+	startMu := main.Process().NewMutex("kv-start-mu")
+	arrivedCv := main.Process().NewCond("kv-arrived-cv")
+	goCv := main.Process().NewCond("kv-go-cv")
+	arrived := 0
+	started := false
+
+	var res WorkloadResult
+	workers := make([]*simos.Thread, 0, cfg.Threads)
+	putCounts := make([]int64, cfg.Threads)
+	getCounts := make([]int64, cfg.Threads)
+	var firstErr error
+	for w := 0; w < cfg.Threads; w++ {
+		w := w
+		seed := cfg.Seed + uint64(w)*0x9e3779b97f4a7c15 + 1
+		th, err := main.CreateThread(fmt.Sprintf("kv-client-%d", w), func(t *simos.Thread) {
+			startMu.Lock(t)
+			arrived++
+			arrivedCv.Signal(t)
+			for !started {
+				goCv.Wait(t, startMu)
+			}
+			startMu.Unlock(t)
+			x := seed
+			next := func() uint64 {
+				x = x*6364136223846793005 + 1442695040888963407
+				return x >> 11
+			}
+			for i := 0; i < cfg.OpsPerThread; i++ {
+				key := next() % keySpace
+				if float64(next()%1000)/1000 < cfg.GetFraction {
+					if _, ok := s.Get(t, key); ok {
+						touchValue(t, key, false)
+					}
+					getCounts[w]++
+				} else {
+					if err := s.Put(t, key, uint64(i)); err != nil && firstErr == nil {
+						firstErr = err
+						return
+					}
+					touchValue(t, key, true)
+					putCounts[w]++
+				}
+			}
+			if closeEpoch != nil {
+				closeEpoch(t)
+			}
+		})
+		if err != nil {
+			return WorkloadResult{}, fmt.Errorf("kvstore: spawning client %d: %w", w, err)
+		}
+		workers = append(workers, th)
+	}
+	// Wait for all workers to check in, flush main's pending epoch delay
+	// (from the preload), then open the window and release the workers.
+	startMu.Lock(main)
+	for arrived < cfg.Threads {
+		arrivedCv.Wait(main, startMu)
+	}
+	if closeEpoch != nil {
+		closeEpoch(main)
+	}
+	start := main.Now()
+	started = true
+	goCv.Broadcast(main)
+	startMu.Unlock(main)
+	var end sim.Time
+	for _, th := range workers {
+		main.Join(th)
+		if th.Now() > end {
+			end = th.Now()
+		}
+	}
+	if firstErr != nil {
+		return WorkloadResult{}, firstErr
+	}
+	res.CT = end - start
+	for w := 0; w < cfg.Threads; w++ {
+		res.Puts += putCounts[w]
+		res.Gets += getCounts[w]
+	}
+	secs := res.CT.Seconds()
+	if secs > 0 {
+		res.PutsPerS = float64(res.Puts) / secs
+		res.GetsPerS = float64(res.Gets) / secs
+	}
+	return res, nil
+}

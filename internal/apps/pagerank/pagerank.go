@@ -1,0 +1,141 @@
+package pagerank
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/quartz-emu/quartz/internal/sim"
+	"github.com/quartz-emu/quartz/internal/simos"
+)
+
+// Config parameterizes a PageRank computation.
+type Config struct {
+	// Damping is the PageRank damping factor (0.85 conventionally).
+	Damping float64
+	// Epsilon is the L1 convergence threshold.
+	Epsilon float64
+	// MaxIters bounds the iteration count.
+	MaxIters int
+	// GatherWidth is the number of rank gathers issued in parallel per
+	// step — the memory-level parallelism an out-of-order core extracts
+	// from independent x[src] reads.
+	GatherWidth int
+	// RankAlloc places the rank vectors; nil falls back to the graph
+	// allocator passed to Run. Separating them is how the two-memory
+	// example keeps hot vectors in DRAM while the large graph sits in NVM.
+	RankAlloc Alloc
+}
+
+// DefaultConfig returns the standard §4.7 setup.
+func DefaultConfig() Config {
+	return Config{Damping: 0.85, Epsilon: 1e-7, MaxIters: 64, GatherWidth: 8}
+}
+
+// Result reports one computation's outcome.
+type Result struct {
+	Iterations int
+	Error      float64 // final L1 delta
+	CT         sim.Time
+	Ranks      []float64
+}
+
+// Run computes PageRank on g from thread t with the power-iteration scheme
+// of the paper's reference implementation (Gleich et al.'s linear-system
+// formulation). Each iteration streams the CSR edge array (prefetch-
+// friendly) while gathering source ranks at random (latency-bound) — the
+// mix that produces Fig. 16's non-linear latency sensitivity.
+func Run(g *Graph, t *simos.Thread, cfg Config, alloc Alloc) (Result, error) {
+	if cfg.Damping <= 0 || cfg.Damping >= 1 {
+		return Result{}, fmt.Errorf("pagerank: damping %g outside (0,1)", cfg.Damping)
+	}
+	if cfg.MaxIters <= 0 {
+		return Result{}, fmt.Errorf("pagerank: MaxIters %d, must be positive", cfg.MaxIters)
+	}
+	if cfg.GatherWidth <= 0 {
+		cfg.GatherWidth = 8
+	}
+	rankAlloc := cfg.RankAlloc
+	if rankAlloc == nil {
+		rankAlloc = alloc
+	}
+	if rankAlloc == nil {
+		return Result{}, fmt.Errorf("pagerank: nil allocator")
+	}
+	n := g.N
+	simX, err := rankAlloc(uintptr(n) * 8)
+	if err != nil {
+		return Result{}, fmt.Errorf("pagerank: rank vector: %w", err)
+	}
+	simY, err := rankAlloc(uintptr(n) * 8)
+	if err != nil {
+		return Result{}, fmt.Errorf("pagerank: next vector: %w", err)
+	}
+
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / float64(n)
+	}
+
+	batch := make([]uintptr, 0, cfg.GatherWidth)
+	srcs := make([]int32, 0, cfg.GatherWidth)
+	start := t.Now()
+	var res Result
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		// Dangling vertices (no out-links) distribute their rank uniformly
+		// — the standard teleportation of the linear-system formulation.
+		var dangling float64
+		for v := 0; v < n; v++ {
+			if g.OutDeg[v] == 0 {
+				dangling += x[v]
+			}
+		}
+		t.Compute(int64(n)) // dangling scan
+		base := (1-cfg.Damping)/float64(n) + cfg.Damping*dangling/float64(n)
+		for v := 0; v < n; v++ {
+			s := 0.0
+			lo, hi := int(g.Offsets[v]), int(g.Offsets[v+1])
+			for e := lo; e < hi; {
+				batch = batch[:0]
+				srcs = srcs[:0]
+				for ; e < hi && len(batch) < cfg.GatherWidth; e++ {
+					if e%16 == 0 {
+						g.loadEdgesLine(t, e) // streaming edge-array line
+					}
+					src := g.Edges[e]
+					srcs = append(srcs, src)
+					batch = append(batch, simX+uintptr(src)*8)
+				}
+				t.LoadGroup(batch) // random rank gathers, MLP-overlapped
+				t.Compute(int64(14 * len(batch)))
+				for _, src := range srcs {
+					s += x[src] / float64(g.OutDeg[src])
+				}
+			}
+			y[v] = base + cfg.Damping*s
+			if v%8 == 0 {
+				t.Store(simY + uintptr(v)*8) // streaming result line
+			}
+		}
+		// Convergence: L1 delta over both vectors (streaming reads).
+		var delta float64
+		for v := 0; v < n; v++ {
+			delta += math.Abs(y[v] - x[v])
+			if v%16 == 0 {
+				t.Load(simY + uintptr(v)*8)
+			}
+		}
+		t.Compute(int64(4 * n))
+
+		x, y = y, x
+		simX, simY = simY, simX
+		res.Iterations = iter + 1
+		res.Error = delta
+		if delta < cfg.Epsilon {
+			break
+		}
+	}
+	res.CT = t.Now() - start
+	res.Ranks = x
+	return res, nil
+}

@@ -1,0 +1,187 @@
+package pmlog
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/quartz-emu/quartz/internal/core"
+	"github.com/quartz-emu/quartz/internal/machine"
+	"github.com/quartz-emu/quartz/internal/sim"
+	"github.com/quartz-emu/quartz/internal/simos"
+)
+
+// withLog runs fn on a fresh emulated system with a log of the given config.
+func withLog(t *testing.T, cfg Config, writeLatNS float64, fn func(*core.Emulator, *simos.Thread, *Log)) {
+	t.Helper()
+	m, err := machine.NewPreset(machine.XeonE5_2660v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := simos.NewProcess(m, simos.Options{AllowedSockets: []int{0}, DefaultNode: -1,
+		ThreadCreateCycles: 25_000, MutexOpCycles: 60, MutexHandoffCycles: 2_500, SignalDeliveryCycles: 1_200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emu, err := core.Attach(p, core.Config{
+		NVMLatency:   sim.FromNanos(500),
+		WriteLatency: sim.FromNanos(writeLatNS),
+		MaxEpoch:     sim.Millisecond,
+		InitCycles:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emu.Run(func(th *simos.Thread) {
+		l, lerr := New(emu, th, cfg)
+		if lerr != nil {
+			th.Failf("new log: %v", lerr)
+		}
+		fn(emu, th, l)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Capacity: 64}).Validate(); err == nil {
+		t.Error("tiny capacity accepted")
+	}
+	if err := (Config{Capacity: 1 << 20}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestDurabilityAdvancesOnlyAtCommit(t *testing.T) {
+	withLog(t, Config{Capacity: 1 << 20, UsePCommit: true}, 600, func(emu *core.Emulator, th *simos.Thread, l *Log) {
+		for i := 0; i < 5; i++ {
+			if err := l.Append(th, 100); err != nil {
+				th.Failf("append: %v", err)
+			}
+		}
+		if l.DurableRecords() != 0 {
+			th.Failf("durable = %d before commit, want 0", l.DurableRecords())
+		}
+		if l.Pending() != 5 {
+			th.Failf("pending = %d, want 5", l.Pending())
+		}
+		l.Commit(th)
+		if l.DurableRecords() != 5 || l.Pending() != 0 {
+			th.Failf("after commit durable=%d pending=%d", l.DurableRecords(), l.Pending())
+		}
+		if l.DurableBytes() == 0 {
+			th.Failf("durable bytes still 0 after commit")
+		}
+	})
+}
+
+func TestCommitEmptyIsNoOp(t *testing.T) {
+	withLog(t, Config{Capacity: 1 << 20}, 600, func(emu *core.Emulator, th *simos.Thread, l *Log) {
+		before := l.Stats().Commits
+		l.Commit(th)
+		if l.Stats().Commits != before {
+			th.Failf("empty commit counted")
+		}
+	})
+}
+
+func TestLogFullAndTruncate(t *testing.T) {
+	withLog(t, Config{Capacity: 4 * 64, UsePCommit: true}, 600, func(emu *core.Emulator, th *simos.Thread, l *Log) {
+		if err := l.Append(th, 100); err != nil { // 2 lines
+			th.Failf("append: %v", err)
+		}
+		if err := l.Append(th, 100); err != nil { // fills the arena
+			th.Failf("append: %v", err)
+		}
+		if err := l.Append(th, 100); err == nil || !strings.Contains(err.Error(), "full") {
+			th.Failf("overfull append error = %v", err)
+		}
+		// Truncation requires a clean commit point.
+		if err := l.Truncate(th); err == nil {
+			th.Failf("truncate with pending records accepted")
+		}
+		l.Commit(th)
+		if err := l.Truncate(th); err != nil {
+			th.Failf("truncate: %v", err)
+		}
+		if l.Free() != 4*64 || l.DurableBytes() != 0 {
+			th.Failf("post-truncate free=%d durable=%d", l.Free(), l.DurableBytes())
+		}
+		if err := l.Append(th, 100); err != nil {
+			th.Failf("append after truncate: %v", err)
+		}
+	})
+}
+
+func TestAppendRejectsBadSize(t *testing.T) {
+	withLog(t, Config{Capacity: 1 << 20}, 600, func(emu *core.Emulator, th *simos.Thread, l *Log) {
+		if err := l.Append(th, 0); err == nil {
+			th.Failf("zero-size append accepted")
+		}
+	})
+}
+
+// TestGroupCommitAmortizesWriteLatency is the design question a PM log
+// answers with Quartz: larger commit batches amortize the NVM write
+// latency, and the pcommit model beats serialized pflush.
+func TestGroupCommitAmortizesWriteLatency(t *testing.T) {
+	const records = 200
+	run := func(usePCommit bool, batch int) sim.Time {
+		var elapsed sim.Time
+		withLog(t, Config{Capacity: 1 << 22, UsePCommit: usePCommit}, 700, func(emu *core.Emulator, th *simos.Thread, l *Log) {
+			start := th.Now()
+			for i := 0; i < records; i++ {
+				if err := l.Append(th, 192); err != nil {
+					th.Failf("append: %v", err)
+				}
+				if (i+1)%batch == 0 {
+					l.Commit(th)
+				}
+			}
+			l.Commit(th)
+			elapsed = th.Now() - start
+			if l.DurableRecords() != records {
+				th.Failf("durable = %d, want %d", l.DurableRecords(), records)
+			}
+		})
+		return elapsed
+	}
+
+	strictPFlush := run(false, 1)
+	strictPCommit := run(true, 1)
+	batchedPCommit := run(true, 16)
+
+	t.Logf("pflush/strict %v, pcommit/strict %v, pcommit/batch16 %v", strictPFlush, strictPCommit, batchedPCommit)
+	if strictPCommit >= strictPFlush {
+		t.Errorf("pcommit (%v) not faster than serialized pflush (%v)", strictPCommit, strictPFlush)
+	}
+	if batchedPCommit >= strictPCommit {
+		t.Errorf("group commit (%v) not faster than per-record commit (%v)", batchedPCommit, strictPCommit)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	withLog(t, Config{Capacity: 1 << 20, UsePCommit: true}, 600, func(emu *core.Emulator, th *simos.Thread, l *Log) {
+		for i := 0; i < 10; i++ {
+			if err := l.Append(th, 64); err != nil {
+				th.Failf("append: %v", err)
+			}
+		}
+		l.Commit(th)
+		s := l.Stats()
+		if s.Appends != 10 || s.Commits != 1 {
+			th.Failf("stats = %+v", s)
+		}
+		if s.BytesWritten != 10*128 { // 64B payload + 8B header rounds to 2 lines
+			th.Failf("bytes = %d, want 1280", s.BytesWritten)
+		}
+		if s.CommitStall <= 0 {
+			th.Failf("commit stall not recorded")
+		}
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil, Config{Capacity: 1 << 20}); err == nil {
+		t.Error("nil emulator accepted")
+	}
+}

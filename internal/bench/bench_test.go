@@ -1,0 +1,359 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"github.com/quartz-emu/quartz/internal/core"
+	"github.com/quartz-emu/quartz/internal/machine"
+	"github.com/quartz-emu/quartz/internal/sim"
+	"github.com/quartz-emu/quartz/internal/simos"
+	"github.com/quartz-emu/quartz/internal/stats"
+)
+
+// testLines overflows every preset L3 several times (64 MiB working set).
+const testLines = 1 << 20
+
+func quickQuartz(nvmNS float64) core.Config {
+	return core.Config{
+		NVMLatency: sim.FromNanos(nvmNS),
+		MaxEpoch:   sim.Millisecond,
+		MinEpoch:   20 * sim.Microsecond,
+		InitCycles: 1,
+	}
+}
+
+func TestMemLatMeasuresNativeLatency(t *testing.T) {
+	env, err := NewEnv(EnvConfig{Preset: machine.XeonE5_2660v2, Mode: Native})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := BuildMemLat(env.Proc, MemLatConfig{Lines: testLines, Chains: 1, Iters: 50_000, Node: env.AllocNode(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res MemLatResult
+	if err := env.Run(func(e *Env, th *simos.Thread) {
+		res = ml.Run(th)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	local := machine.PresetConfig(machine.XeonE5_2660v2).LocalLat
+	if rel := stats.RelErr(res.PerIteration.Nanoseconds(), local.Nanoseconds()); rel > 0.02 {
+		t.Errorf("native MemLat latency %v, want ~%v (%.2f%% off)", res.PerIteration, local, rel*100)
+	}
+	if res.Accesses != 50_000 {
+		t.Errorf("accesses = %d, want 50000", res.Accesses)
+	}
+}
+
+func TestMemLatMeasuresPhysicalRemoteLatency(t *testing.T) {
+	env, err := NewEnv(EnvConfig{Preset: machine.XeonE5_2660v2, Mode: PhysicalRemote})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := BuildMemLat(env.Proc, MemLatConfig{Lines: testLines, Chains: 1, Iters: 50_000, Node: env.AllocNode(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res MemLatResult
+	if err := env.Run(func(e *Env, th *simos.Thread) {
+		res = ml.Run(th)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	remote := machine.PresetConfig(machine.XeonE5_2660v2).RemoteLat
+	if rel := stats.RelErr(res.PerIteration.Nanoseconds(), remote.Nanoseconds()); rel > 0.02 {
+		t.Errorf("remote MemLat latency %v, want ~%v (%.2f%% off)", res.PerIteration, remote, rel*100)
+	}
+}
+
+func TestMemLatChainsOverlap(t *testing.T) {
+	// With 4 independent chains the per-iteration time must stay near one
+	// access latency, not four (MLP).
+	runChains := func(chains int) sim.Time {
+		env, err := NewEnv(EnvConfig{Preset: machine.XeonE5_2660v2, Mode: Native})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ml, err := BuildMemLat(env.Proc, MemLatConfig{Lines: testLines / 4, Chains: chains, Iters: 30_000, Node: 0, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res MemLatResult
+		if err := env.Run(func(e *Env, th *simos.Thread) {
+			res = ml.Run(th)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return res.PerIteration
+	}
+	one := runChains(1)
+	four := runChains(4)
+	if four > one*3/2 {
+		t.Errorf("4-chain per-iteration %v vs 1-chain %v: chains are not overlapping", four, one)
+	}
+}
+
+// TestMemLatEmulationErrorAcrossMLP is Fig. 11 at test scale: the emulation
+// error between Conf_1 (Quartz emulating remote latency) and Conf_2
+// (physically remote) stays small across parallelism degrees.
+func TestMemLatEmulationErrorAcrossMLP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-config validation is slow")
+	}
+	const iters = 40_000
+	for _, chains := range []int{1, 3, 8} {
+		cfg := MemLatConfig{Lines: testLines / 2, Chains: chains, Iters: iters, Seed: 9}
+
+		phys, err := NewEnv(EnvConfig{Preset: machine.XeonE5_2660v2, Mode: PhysicalRemote})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Node = phys.AllocNode()
+		mlP, err := BuildMemLat(phys.Proc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ctPhys sim.Time
+		if err := phys.Run(func(e *Env, th *simos.Thread) {
+			ctPhys = mlP.Run(th).CT
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		emu, err := NewEnv(EnvConfig{
+			Preset: machine.XeonE5_2660v2, Mode: Emulated,
+			Quartz: quickQuartz(RemoteLatNS(machine.XeonE5_2660v2)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Node = emu.AllocNode()
+		mlE, err := BuildMemLat(emu.Proc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ctEmu sim.Time
+		if err := emu.Run(func(e *Env, th *simos.Thread) {
+			start := th.Now()
+			mlE.Run(th)
+			e.CloseEpoch(th)
+			ctEmu = th.Now() - start
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		rel := stats.RelErr(float64(ctEmu), float64(ctPhys))
+		t.Logf("chains=%d: physical %v, emulated %v, error %.2f%%", chains, ctPhys, ctEmu, rel*100)
+		// The error grows with MLP because Eq. 2 scales the loaded
+		// (queueing-inflated) stall time by the latency ratio — the §6
+		// "loaded latency" limitation. The paper's overall band is 0.2-9%.
+		if rel > 0.09 {
+			t.Errorf("chains=%d: emulation error %.2f%% > 9%%", chains, rel*100)
+		}
+	}
+}
+
+func TestMultiThreadedDelayPropagation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multithreaded validation is slow")
+	}
+	// Fig. 13's essence: with contended critical sections, propagating
+	// delays at lock release (small min epoch) tracks the physical run;
+	// NOT propagating (min = max epoch) underestimates the completion
+	// time, and increasingly so.
+	mtCfg := MTConfig{Threads: 4, Sections: 400, CSDur: 60, OutDur: 0, Lines: testLines / 4, Seed: 3}
+
+	run := func(mode Mode, quartz core.Config) sim.Time {
+		env, err := NewEnv(EnvConfig{
+			Preset: machine.XeonE5_2660v2, Mode: mode, Quartz: quartz,
+			Lookahead: 2 * sim.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := mtCfg
+		cfg.Node = env.AllocNode()
+		var res MTResult
+		if err := env.Run(func(e *Env, th *simos.Thread) {
+			var rerr error
+			res, rerr = RunMultiThreaded(e, th, cfg)
+			if rerr != nil {
+				th.Failf("%v", rerr)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return res.CT
+	}
+
+	physical := run(PhysicalRemote, core.Config{})
+
+	good := quickQuartz(RemoteLatNS(machine.XeonE5_2660v2))
+	good.MinEpoch = 10 * sim.Microsecond
+	withProp := run(Emulated, good)
+
+	bad := quickQuartz(RemoteLatNS(machine.XeonE5_2660v2))
+	bad.MinEpoch = 10 * sim.Millisecond
+	bad.MaxEpoch = 10 * sim.Millisecond // min == max: no sync epochs (Fig. 13 light-blue line)
+	noProp := run(Emulated, bad)
+
+	errProp := stats.RelErr(float64(withProp), float64(physical))
+	errNoProp := stats.RelErr(float64(noProp), float64(physical))
+	t.Logf("physical %v, propagated %v (%.1f%%), unpropagated %v (%.1f%%)",
+		physical, withProp, errProp*100, noProp, errNoProp*100)
+	if errProp > 0.08 {
+		t.Errorf("with delay propagation error %.1f%% > 8%%", errProp*100)
+	}
+	if errNoProp < errProp {
+		t.Errorf("disabling propagation improved accuracy (%.1f%% vs %.1f%%); expected it to hurt", errNoProp*100, errProp*100)
+	}
+	if noProp >= physical {
+		t.Errorf("unpropagated run %v should underestimate the physical %v (overlapped critical sections)", noProp, physical)
+	}
+}
+
+func TestMultiLatPatternInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two-memory validation is slow")
+	}
+	// §4.6: completion time must match Num*lat sums regardless of the
+	// access pattern.
+	const nvmNS = 400
+	for _, burst := range []struct{ d, n int }{{2000, 1000}, {200, 100}} {
+		env, err := NewEnv(EnvConfig{Preset: machine.XeonE5_2650v3, Mode: Emulated,
+			Quartz: func() core.Config {
+				c := quickQuartz(nvmNS)
+				c.TwoMemory = true
+				return c
+			}(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mlCfg := MultiLatConfig{
+			DRAMLines: 60_000, NVMLines: 30_000,
+			DRAMBurst: burst.d, NVMBurst: burst.n, Seed: 17,
+		}
+		ml, err := BuildMultiLat(env.Proc, env.Emu, mlCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res MultiLatResult
+		if err := env.Run(func(e *Env, th *simos.Thread) {
+			start := th.Now()
+			r := ml.Run(th, machine.PresetConfig(machine.XeonE5_2650v3).LocalLat, sim.FromNanos(nvmNS))
+			e.CloseEpoch(th)
+			r.CT = th.Now() - start
+			res = r
+		}); err != nil {
+			t.Fatal(err)
+		}
+		rel := stats.RelErr(float64(res.CT), float64(res.ExpectedCT))
+		t.Logf("pattern %d:%d CT %v expected %v error %.2f%%", burst.d, burst.n, res.CT, res.ExpectedCT, rel*100)
+		if rel > 0.05 {
+			t.Errorf("pattern %d:%d error %.2f%% > 5%% (paper: <1.2%%)", burst.d, burst.n, rel*100)
+		}
+	}
+}
+
+func TestStreamBandwidthReasonable(t *testing.T) {
+	env, err := NewEnv(EnvConfig{Preset: machine.XeonE5_2450, Mode: Native, Lookahead: 5 * sim.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res StreamResult
+	if err := env.Run(func(e *Env, th *simos.Thread) {
+		var rerr error
+		res, rerr = RunStream(e, th, StreamConfig{Lines: 1 << 17, Threads: 4, Node: 0})
+		if rerr != nil {
+			th.Failf("%v", rerr)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	peak := machine.PresetConfig(machine.XeonE5_2450).Mem.ChannelBandwidth * 3
+	t.Logf("STREAM copy: %.1f GB/s (socket peak %.1f GB/s)", res.BytesPerSec/1e9, peak/1e9)
+	if res.BytesPerSec < peak*0.3 {
+		t.Errorf("copy bandwidth %.1f GB/s below 30%% of peak %.1f GB/s", res.BytesPerSec/1e9, peak/1e9)
+	}
+	if res.BytesPerSec > peak {
+		t.Errorf("copy bandwidth %.1f GB/s exceeds the physical peak %.1f GB/s", res.BytesPerSec/1e9, peak/1e9)
+	}
+}
+
+// TestStreamThrottleLinearity reproduces Fig. 8's shape at test scale:
+// throttled bandwidth grows linearly in the register value, then saturates.
+func TestStreamThrottleLinearity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throttle sweep is slow")
+	}
+	measure := func(reg uint16) float64 {
+		env, err := NewEnv(EnvConfig{Preset: machine.XeonE5_2450, Mode: Native, Lookahead: 5 * sim.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range env.Mach.Sockets() {
+			if err := s.Ctrl.SetThrottle(reg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var res StreamResult
+		if err := env.Run(func(e *Env, th *simos.Thread) {
+			var rerr error
+			res, rerr = RunStream(e, th, StreamConfig{Lines: 1 << 16, Threads: 4, Node: 0})
+			if rerr != nil {
+				th.Failf("%v", rerr)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return res.BytesPerSec
+	}
+	b256 := measure(256)
+	b512 := measure(512)
+	b4095 := measure(4095)
+	// Linear region: doubling the register about doubles the bandwidth.
+	if ratio := b512 / b256; math.Abs(ratio-2) > 0.3 {
+		t.Errorf("register 512/256 bandwidth ratio = %.2f, want ~2 (linear throttle)", ratio)
+	}
+	// Saturation: full register no better than the attainable maximum.
+	if b4095 <= b512 {
+		t.Errorf("bandwidth did not grow past the linear region: %g vs %g", b4095, b512)
+	}
+}
+
+func TestWorkloadConfigValidation(t *testing.T) {
+	if err := (MemLatConfig{}).Validate(); err == nil {
+		t.Error("empty MemLatConfig accepted")
+	}
+	if err := (MTConfig{}).Validate(); err == nil {
+		t.Error("empty MTConfig accepted")
+	}
+	if err := (MultiLatConfig{}).Validate(); err == nil {
+		t.Error("empty MultiLatConfig accepted")
+	}
+	if err := (StreamConfig{}).Validate(); err == nil {
+		t.Error("empty StreamConfig accepted")
+	}
+	if Native.String() == "" || Emulated.String() == "" || Mode(99).String() == "" {
+		t.Error("Mode.String broken")
+	}
+}
+
+func TestPermutationCycleVisitsAll(t *testing.T) {
+	next := permutationCycle(1000, 77)
+	seen := make([]bool, 1000)
+	cur := int32(0)
+	for i := 0; i < 1000; i++ {
+		if seen[cur] {
+			t.Fatalf("cycle revisited %d after %d steps", cur, i)
+		}
+		seen[cur] = true
+		cur = next[cur]
+	}
+	if cur != 0 {
+		t.Errorf("cycle did not close (ended at %d)", cur)
+	}
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/quartz-emu/quartz/internal/sim"
+	"github.com/quartz-emu/quartz/internal/simos"
+)
+
+// MemLatConfig parameterizes the MemLat pointer-chasing benchmark (§4.4).
+type MemLatConfig struct {
+	// Lines is the number of cache-line-sized elements per chain. Choose
+	// it much larger than the last-level cache so every access misses.
+	Lines int
+	// Chains is the number of independent chains chased concurrently —
+	// the configurable degree of memory access parallelism.
+	Chains int
+	// Iters is the number of chase iterations; each iteration reads the
+	// current element of every chain.
+	Iters int
+	// Node is the NUMA node the chains are allocated on.
+	Node int
+	// Seed makes the permutation deterministic.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c MemLatConfig) Validate() error {
+	if c.Lines <= 1 || c.Chains <= 0 || c.Iters <= 0 {
+		return fmt.Errorf("bench: MemLat needs positive lines/chains/iters (got %d/%d/%d)", c.Lines, c.Chains, c.Iters)
+	}
+	return nil
+}
+
+// MemLat is a built instance of the benchmark: Chains independent pointer
+// cycles, each a random permutation over Lines cache lines. The contents of
+// each element dictate which one is read next, so a chain is strictly
+// latency-bound; different chains are independent, so a group of them
+// exercises memory-level parallelism.
+type MemLat struct {
+	cfg   MemLatConfig
+	next  [][]int32
+	bases []uintptr
+	batch []uintptr
+	cur   []int32
+}
+
+// MemLatResult is one run's measurement.
+type MemLatResult struct {
+	// CT is the completion time of the chase loop.
+	CT sim.Time
+	// PerIteration is CT divided by iterations: with one chain this is the
+	// measured memory access latency (the Intel MLC-style measurement the
+	// paper exploits in Fig. 12).
+	PerIteration sim.Time
+	// Accesses is the total number of loads issued.
+	Accesses int64
+}
+
+// BuildMemLat allocates and links the chains inside p's address space.
+func BuildMemLat(p *simos.Process, cfg MemLatConfig) (*MemLat, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := &MemLat{
+		cfg:   cfg,
+		next:  make([][]int32, cfg.Chains),
+		bases: make([]uintptr, cfg.Chains),
+		batch: make([]uintptr, cfg.Chains),
+		cur:   make([]int32, cfg.Chains),
+	}
+	for c := 0; c < cfg.Chains; c++ {
+		base, err := p.MallocOnNode(uintptr(cfg.Lines)*64, cfg.Node)
+		if err != nil {
+			return nil, fmt.Errorf("bench: MemLat chain %d: %w", c, err)
+		}
+		b.bases[c] = base
+		b.next[c] = permutationCycle(cfg.Lines, cfg.Seed+int64(c)*7919)
+	}
+	return b, nil
+}
+
+// Run chases the chains for the configured iterations from thread t.
+func (b *MemLat) Run(t *simos.Thread) MemLatResult {
+	for c := range b.cur {
+		b.cur[c] = 0
+	}
+	start := t.Now()
+	if b.cfg.Chains == 1 {
+		next, base := b.next[0], b.bases[0]
+		cur := int32(0)
+		for i := 0; i < b.cfg.Iters; i++ {
+			t.Load(base + uintptr(cur)*64)
+			cur = next[cur]
+		}
+	} else {
+		for i := 0; i < b.cfg.Iters; i++ {
+			for c := 0; c < b.cfg.Chains; c++ {
+				b.batch[c] = b.bases[c] + uintptr(b.cur[c])*64
+			}
+			t.LoadGroup(b.batch)
+			for c := 0; c < b.cfg.Chains; c++ {
+				b.cur[c] = b.next[c][b.cur[c]]
+			}
+		}
+	}
+	ct := t.Now() - start
+	return MemLatResult{
+		CT:           ct,
+		PerIteration: ct / sim.Time(b.cfg.Iters),
+		Accesses:     int64(b.cfg.Iters) * int64(b.cfg.Chains),
+	}
+}
+
+// permutationCycle builds a single-cycle successor array over n slots using
+// a seeded splitmix-style shuffle, so a chase visits every element exactly
+// once before repeating.
+func permutationCycle(n int, seed int64) []int32 {
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	x := uint64(seed)*2862933555777941757 + 3037000493
+	for i := n - 1; i > 0; i-- {
+		x = x*6364136223846793005 + 1442695040888963407
+		j := int((x >> 11) % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	next := make([]int32, n)
+	for i := 0; i < n; i++ {
+		next[perm[i]] = perm[(i+1)%n]
+	}
+	return next
+}

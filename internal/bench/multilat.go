@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/quartz-emu/quartz/internal/core"
+	"github.com/quartz-emu/quartz/internal/sim"
+	"github.com/quartz-emu/quartz/internal/simos"
+)
+
+// MultiLatConfig parameterizes the MultiLat benchmark (§4.6): a pointer
+// chain spanning two arrays — one in DRAM, one in (virtual) NVM — visited
+// with a repeating access pattern of DRAMBurst DRAM reads followed by
+// NVMBurst NVM reads, until every element of both arrays has been read
+// exactly once.
+type MultiLatConfig struct {
+	// DRAMLines and NVMLines are Num^DRAM and Num^NVM.
+	DRAMLines, NVMLines int
+	// DRAMBurst / NVMBurst define the repeating access pattern, e.g.
+	// 2000:1000 (the paper's Pattern-3).
+	DRAMBurst, NVMBurst int
+	// Seed drives the chain permutations.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c MultiLatConfig) Validate() error {
+	if c.DRAMLines <= 1 || c.NVMLines <= 1 || c.DRAMBurst <= 0 || c.NVMBurst <= 0 {
+		return fmt.Errorf("bench: bad MultiLatConfig %+v", c)
+	}
+	return nil
+}
+
+// MultiLat is a built instance: a DRAM-resident chain (plain malloc) and an
+// NVM-resident chain (pmalloc through the emulator's virtual topology).
+type MultiLat struct {
+	cfg      MultiLatConfig
+	nextDRAM []int32
+	nextNVM  []int32
+	baseDRAM uintptr
+	baseNVM  uintptr
+}
+
+// MultiLatResult is one run's measurement.
+type MultiLatResult struct {
+	CT sim.Time
+	// ExpectedCT is Num^DRAM * DRAM_lat + Num^NVM * NVM_lat, the model
+	// completion time the paper validates against (§4.6).
+	ExpectedCT sim.Time
+}
+
+// BuildMultiLat allocates the two chains: DRAM via malloc, NVM via the
+// emulator's pmalloc.
+func BuildMultiLat(p *simos.Process, emu *core.Emulator, cfg MultiLatConfig) (*MultiLat, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	baseDRAM, err := p.Malloc(uintptr(cfg.DRAMLines) * 64)
+	if err != nil {
+		return nil, fmt.Errorf("bench: MultiLat DRAM array: %w", err)
+	}
+	baseNVM, err := emu.PMalloc(uintptr(cfg.NVMLines) * 64)
+	if err != nil {
+		return nil, fmt.Errorf("bench: MultiLat NVM array: %w", err)
+	}
+	return &MultiLat{
+		cfg:      cfg,
+		nextDRAM: permutationCycle(cfg.DRAMLines, cfg.Seed),
+		nextNVM:  permutationCycle(cfg.NVMLines, cfg.Seed+65537),
+		baseDRAM: baseDRAM,
+		baseNVM:  baseNVM,
+	}, nil
+}
+
+// Run chases the combined pattern until both arrays are exhausted, reading
+// each element exactly once.
+func (b *MultiLat) Run(t *simos.Thread, dramLat, nvmLat sim.Time) MultiLatResult {
+	remDRAM, remNVM := b.cfg.DRAMLines, b.cfg.NVMLines
+	curD, curN := int32(0), int32(0)
+	start := t.Now()
+	for remDRAM > 0 || remNVM > 0 {
+		for i := 0; i < b.cfg.DRAMBurst && remDRAM > 0; i++ {
+			t.Load(b.baseDRAM + uintptr(curD)*64)
+			curD = b.nextDRAM[curD]
+			remDRAM--
+		}
+		for i := 0; i < b.cfg.NVMBurst && remNVM > 0; i++ {
+			t.Load(b.baseNVM + uintptr(curN)*64)
+			curN = b.nextNVM[curN]
+			remNVM--
+		}
+	}
+	ct := t.Now() - start
+	return MultiLatResult{
+		CT: ct,
+		ExpectedCT: sim.Time(b.cfg.DRAMLines)*dramLat +
+			sim.Time(b.cfg.NVMLines)*nvmLat,
+	}
+}

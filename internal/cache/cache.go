@@ -1,0 +1,228 @@
+// Package cache models set-associative write-back caches with LRU
+// replacement, in-flight fill tracking (so a prefetched line that has not
+// yet arrived still charges partial latency), explicit line flushes
+// (clflush/clflushopt), and a simple stream prefetcher.
+package cache
+
+import (
+	"fmt"
+
+	"github.com/quartz-emu/quartz/internal/sim"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// Name labels the level for diagnostics (e.g. "L1d", "L3").
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// LineSize is the line size in bytes.
+	LineSize int
+	// LookupLat is the latency contribution of probing this level.
+	LookupLat sim.Time
+}
+
+// Validate reports whether the configuration describes a buildable cache.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineSize <= 0 {
+		return fmt.Errorf("cache %q: size/ways/linesize must be positive (got %d/%d/%d)",
+			c.Name, c.SizeBytes, c.Ways, c.LineSize)
+	}
+	lines := c.SizeBytes / c.LineSize
+	if lines%c.Ways != 0 {
+		return fmt.Errorf("cache %q: %d lines not divisible by %d ways", c.Name, lines, c.Ways)
+	}
+	return nil
+}
+
+// Stats aggregates cache activity.
+type Stats struct {
+	Hits           int64
+	Misses         int64
+	Evictions      int64
+	DirtyEvictions int64
+	Flushes        int64
+}
+
+// Eviction describes a line displaced by an insert.
+type Eviction struct {
+	Addr  uintptr // line-aligned address
+	Dirty bool
+}
+
+type line struct {
+	tag     uintptr
+	valid   bool
+	dirty   bool
+	lastUse uint64
+	arrival sim.Time // fill arrival; reads before this wait the remainder
+}
+
+// Cache is one set-associative write-back cache level.
+type Cache struct {
+	cfg     Config
+	sets    []line // numSets * ways, row-major
+	numSets int
+	setMask int // numSets-1 when numSets is a power of two, else 0
+	useClk  uint64
+	stats   Stats
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lines := cfg.SizeBytes / cfg.LineSize
+	numSets := lines / cfg.Ways
+	mask := 0
+	if numSets&(numSets-1) == 0 {
+		mask = numSets - 1
+	}
+	return &Cache{
+		cfg:     cfg,
+		sets:    make([]line, lines),
+		numSets: numSets,
+		setMask: mask,
+	}, nil
+}
+
+// Config reports the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) lineAddr(addr uintptr) uintptr {
+	return addr &^ uintptr(c.cfg.LineSize-1)
+}
+
+func (c *Cache) setOf(tag uintptr) []line {
+	var idx int
+	if c.setMask != 0 {
+		idx = int(tag) & c.setMask
+	} else {
+		idx = int(tag % uintptr(c.numSets))
+	}
+	return c.sets[idx*c.cfg.Ways : (idx+1)*c.cfg.Ways]
+}
+
+// Lookup probes the cache at virtual time now. On a hit it updates LRU state
+// and returns any residual wait for an in-flight fill (zero once the line
+// has fully arrived). markDirty additionally dirties the line (a store hit).
+func (c *Cache) Lookup(addr uintptr, now sim.Time, markDirty bool) (hit bool, wait sim.Time) {
+	tag := addr / uintptr(c.cfg.LineSize)
+	set := c.setOf(tag)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			c.useClk++
+			l.lastUse = c.useClk
+			if markDirty {
+				l.dirty = true
+			}
+			c.stats.Hits++
+			if l.arrival > now {
+				return true, l.arrival - now
+			}
+			return true, 0
+		}
+	}
+	c.stats.Misses++
+	return false, 0
+}
+
+// Contains reports whether the line holding addr is present, without
+// touching LRU or statistics.
+func (c *Cache) Contains(addr uintptr) bool {
+	tag := addr / uintptr(c.cfg.LineSize)
+	set := c.setOf(tag)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills the line holding addr, evicting the LRU victim if the set is
+// full. arrival is when the fill data lands (demand fills arrive "now";
+// prefetches arrive later). The displaced line, if any, is returned so the
+// caller can issue a writeback.
+func (c *Cache) Insert(addr uintptr, dirty bool, arrival sim.Time) (ev Eviction, evicted bool) {
+	tag := addr / uintptr(c.cfg.LineSize)
+	set := c.setOf(tag)
+	victim := -1
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			// Already present (e.g. racing prefetch): refresh.
+			c.useClk++
+			l.lastUse = c.useClk
+			l.dirty = l.dirty || dirty
+			if arrival < l.arrival {
+				l.arrival = arrival
+			}
+			return Eviction{}, false
+		}
+		if !l.valid {
+			if victim == -1 || set[victim].valid {
+				victim = i
+			}
+			continue
+		}
+		if victim == -1 || (set[victim].valid && l.lastUse < set[victim].lastUse) {
+			victim = i
+		}
+	}
+	v := &set[victim]
+	if v.valid {
+		c.stats.Evictions++
+		if v.dirty {
+			c.stats.DirtyEvictions++
+		}
+		ev = Eviction{Addr: v.tag * uintptr(c.cfg.LineSize), Dirty: v.dirty}
+		evicted = true
+	}
+	c.useClk++
+	*v = line{tag: tag, valid: true, dirty: dirty, lastUse: c.useClk, arrival: arrival}
+	return ev, evicted
+}
+
+// Flush invalidates the line holding addr, reporting whether it was present
+// and whether it was dirty (and therefore needs a writeback). This models
+// clflush/clflushopt.
+func (c *Cache) Flush(addr uintptr) (present, dirty bool) {
+	tag := addr / uintptr(c.cfg.LineSize)
+	set := c.setOf(tag)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			c.stats.Flushes++
+			present, dirty = true, l.dirty
+			*l = line{}
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// InvalidateAll drops every line, returning the dirty line addresses so the
+// caller can model writeback traffic. It is used to model cache invalidation
+// between experiment trials.
+func (c *Cache) InvalidateAll() []uintptr {
+	var dirty []uintptr
+	for i := range c.sets {
+		l := &c.sets[i]
+		if l.valid && l.dirty {
+			dirty = append(dirty, l.tag*uintptr(c.cfg.LineSize))
+		}
+		*l = line{}
+	}
+	return dirty
+}

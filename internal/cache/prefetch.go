@@ -1,0 +1,146 @@
+package cache
+
+// Prefetcher is a per-core stream prefetcher: it watches the line-address
+// sequence of demand accesses, detects ascending or descending unit-stride
+// streams, and proposes lines to fetch ahead of the demand stream.
+//
+// Prefetch effectiveness is latency-dependent by construction: proposed
+// lines are inserted with a future arrival time, so a demand access that
+// catches up with the prefetcher before the fill lands still pays the
+// residual latency. This is what makes streaming workloads (STREAM,
+// PageRank's edge arrays) insensitive to moderate latency increases but
+// increasingly exposed as emulated NVM latency grows — the non-linearity in
+// the paper's Figure 16.
+type Prefetcher struct {
+	streams []stream
+	depth   int
+	clk     uint64
+}
+
+type stream struct {
+	lastLine   uintptr
+	dir        int // +1 ascending, -1 descending
+	confidence int
+	lastPF     uintptr // furthest line already proposed
+	lastUse    uint64
+	valid      bool
+}
+
+// prefetchConfidence is how many consecutive unit-stride hits arm a stream.
+const prefetchConfidence = 2
+
+// maxStreams bounds concurrently tracked streams, like hardware trackers.
+const maxStreams = 16
+
+// NewPrefetcher builds a stream prefetcher that runs depth lines ahead of a
+// detected stream. A depth of zero disables prefetching.
+func NewPrefetcher(depth int) *Prefetcher {
+	return &Prefetcher{depth: depth, streams: make([]stream, maxStreams)}
+}
+
+// Depth reports the configured prefetch distance in lines.
+func (p *Prefetcher) Depth() int { return p.depth }
+
+// Observe records a demand access to the given line address and returns the
+// line addresses that should be prefetched (possibly none).
+func (p *Prefetcher) Observe(lineAddr uintptr) []uintptr {
+	if p.depth <= 0 {
+		return nil
+	}
+	p.clk++
+	// Find a stream this access continues.
+	for i := range p.streams {
+		s := &p.streams[i]
+		if !s.valid {
+			continue
+		}
+		var next uintptr
+		if s.dir > 0 {
+			next = s.lastLine + 1
+		} else {
+			next = s.lastLine - 1
+		}
+		if lineAddr == next {
+			s.lastLine = lineAddr
+			s.lastUse = p.clk
+			if s.confidence < prefetchConfidence {
+				s.confidence++
+			}
+			if s.confidence >= prefetchConfidence {
+				return p.propose(s, lineAddr)
+			}
+			return nil
+		}
+		if lineAddr == s.lastLine { // repeated access; refresh recency
+			s.lastUse = p.clk
+			return nil
+		}
+	}
+	// Try to pair with an existing embryonic stream head (stride ±1 from a
+	// tracked line in either direction establishes direction).
+	for i := range p.streams {
+		s := &p.streams[i]
+		if !s.valid || s.confidence >= prefetchConfidence {
+			continue
+		}
+		switch lineAddr {
+		case s.lastLine + 1:
+			s.dir, s.lastLine, s.confidence, s.lastUse = +1, lineAddr, prefetchConfidence, p.clk
+			return p.propose(s, lineAddr)
+		case s.lastLine - 1:
+			s.dir, s.lastLine, s.confidence, s.lastUse = -1, lineAddr, prefetchConfidence, p.clk
+			return p.propose(s, lineAddr)
+		}
+	}
+	// Allocate a new stream over the least recently used slot.
+	victim := 0
+	for i := range p.streams {
+		if !p.streams[i].valid {
+			victim = i
+			break
+		}
+		if p.streams[i].lastUse < p.streams[victim].lastUse {
+			victim = i
+		}
+	}
+	p.streams[victim] = stream{lastLine: lineAddr, dir: +1, confidence: 1, lastUse: p.clk, valid: true}
+	return nil
+}
+
+// propose returns the lines between the stream's prefetch frontier and
+// lineAddr+depth (in stream direction), advancing the frontier.
+func (p *Prefetcher) propose(s *stream, lineAddr uintptr) []uintptr {
+	var out []uintptr
+	if s.dir > 0 {
+		target := lineAddr + uintptr(p.depth)
+		start := lineAddr + 1
+		if s.lastPF >= start && s.lastPF <= target {
+			start = s.lastPF + 1
+		}
+		for l := start; l <= target; l++ {
+			out = append(out, l)
+		}
+		if target > s.lastPF {
+			s.lastPF = target
+		}
+	} else {
+		if lineAddr < uintptr(p.depth) {
+			return nil
+		}
+		target := lineAddr - uintptr(p.depth)
+		start := lineAddr - 1
+		if s.lastPF != 0 && s.lastPF <= start && s.lastPF >= target {
+			start = s.lastPF - 1
+		}
+		for l := start; l >= target; l-- {
+			out = append(out, l)
+			if l == 0 {
+				break
+			}
+		}
+		if s.lastPF == 0 || target < s.lastPF {
+			s.lastPF = target
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+// Package core implements Quartz itself: the epoch-based persistent-memory
+// latency emulator of §2–§3. It attaches to a simulated process the way the
+// real library attaches via LD_PRELOAD, programs the hardware through the
+// kernel module, runs a monitor thread that interrupts application threads
+// at maximum-epoch boundaries with POSIX signals, interposes on lock
+// releases to propagate delays at inter-thread communication points, and
+// injects model-derived delays by spinning on the timestamp counter.
+package core
+
+import (
+	"fmt"
+
+	"github.com/quartz-emu/quartz/internal/perf"
+	"github.com/quartz-emu/quartz/internal/sim"
+)
+
+// Model selects the analytic latency model.
+type Model int
+
+// Latency models.
+const (
+	// ModelStall is the paper's Eq. 2: delay proportional to memory stall
+	// cycles, which naturally accounts for memory-level parallelism.
+	ModelStall Model = iota + 1
+	// ModelSimple is the paper's Eq. 1: delay proportional to the raw
+	// count of memory references. It over-delays MLP-rich workloads and
+	// exists as the ablation baseline for Fig. 2 / Fig. 11.
+	ModelSimple
+)
+
+func (m Model) String() string {
+	switch m {
+	case ModelStall:
+		return "stall (Eq. 2)"
+	case ModelSimple:
+		return "simple (Eq. 1)"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Config parameterizes an emulation session.
+type Config struct {
+	// NVMLatency is the target emulated NVM read latency (average
+	// application-perceived).
+	NVMLatency sim.Time
+	// DRAMLatency overrides the measured DRAM baseline latency; zero uses
+	// the machine's calibrated value (local DRAM in single-memory mode,
+	// remote DRAM in two-memory mode, since remote DRAM is the NVM
+	// substrate there).
+	DRAMLatency sim.Time
+	// NVMBandwidth caps emulated NVM read bandwidth in bytes/sec via the
+	// thermal-control registers; zero leaves bandwidth unthrottled.
+	NVMBandwidth float64
+	// NVMWriteBandwidth caps write bandwidth separately (NVM write
+	// bandwidth is generally below read bandwidth, §2.1); zero follows
+	// NVMBandwidth.
+	NVMWriteBandwidth float64
+	// MaxEpoch is the static maximum epoch length enforced by the monitor
+	// thread (default 10 ms, the paper's choice).
+	MaxEpoch sim.Time
+	// MinEpoch is the minimum epoch length below which synchronization
+	// events do not close epochs (default 0.01 ms, the smallest setting
+	// the paper evaluates and the most accurate for lock-heavy loads).
+	MinEpoch sim.Time
+	// MonitorInterval is the monitor thread's fixed wake-up period
+	// (default MaxEpoch/2). Wake-ups and epoch completions may drift
+	// apart, as the paper notes.
+	MonitorInterval sim.Time
+	// Model selects Eq. 2 (default) or the Eq. 1 ablation.
+	Model Model
+	// CounterMode selects rdpmc (default) or PAPI-style counter access.
+	CounterMode perf.AccessMode
+	// InjectionOff runs the "switched-off delay injection" mode of §3.2:
+	// epochs are created and delays computed but not injected, exposing
+	// the pure emulator overhead.
+	InjectionOff bool
+	// TwoMemory enables the DRAM+NVM virtual topology of §3.3: threads
+	// must be bound to socket 0, PMalloc serves from socket 1 (remote
+	// DRAM), and only remote-attributed stalls are delayed.
+	TwoMemory bool
+	// WriteLatency is the extra delay PFlush injects to emulate a slower
+	// NVM write; zero defaults to NVMLatency - DRAMLatency.
+	WriteLatency sim.Time
+	// InitCycles models the library's initialization cost (§3.2 reports
+	// ~5.5 billion cycles). Charged to the main thread before it runs.
+	InitCycles int64
+	// RegisterCycles models per-thread registration (§3.2: ~300,000).
+	RegisterCycles int64
+	// EpochLogicCycles is the epoch-processing cost beyond counter reads
+	// (§3.2: roughly half of the ~4,000-cycle epoch cost is counter
+	// reading; the rest is model arithmetic and bookkeeping).
+	EpochLogicCycles int64
+	// SpinPollCycles is the rdtscp polling granularity of the delay spin
+	// loop.
+	SpinPollCycles int64
+	// DisableAmortization turns off the overhead carry-over discounting of
+	// §3.2 (ablation knob).
+	DisableAmortization bool
+}
+
+// Defaults for unset Config fields.
+const (
+	DefaultMaxEpoch         = 10 * sim.Millisecond
+	DefaultMinEpoch         = 10 * sim.Microsecond
+	DefaultInitCycles       = 5_500_000_000
+	DefaultRegisterCycles   = 300_000
+	DefaultEpochLogicCycles = 2_000
+	DefaultSpinPollCycles   = 20
+)
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.MaxEpoch <= 0 {
+		c.MaxEpoch = DefaultMaxEpoch
+	}
+	if c.MinEpoch <= 0 {
+		c.MinEpoch = DefaultMinEpoch
+	}
+	if c.MonitorInterval <= 0 {
+		c.MonitorInterval = c.MaxEpoch / 2
+	}
+	if c.Model == 0 {
+		c.Model = ModelStall
+	}
+	if c.CounterMode == 0 {
+		c.CounterMode = perf.RDPMC
+	}
+	if c.InitCycles == 0 {
+		c.InitCycles = DefaultInitCycles
+	}
+	if c.RegisterCycles == 0 {
+		c.RegisterCycles = DefaultRegisterCycles
+	}
+	if c.EpochLogicCycles == 0 {
+		c.EpochLogicCycles = DefaultEpochLogicCycles
+	}
+	if c.SpinPollCycles == 0 {
+		c.SpinPollCycles = DefaultSpinPollCycles
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.NVMLatency < 0 {
+		return fmt.Errorf("core: NVMLatency %v negative", c.NVMLatency)
+	}
+	if c.MinEpoch > c.MaxEpoch {
+		return fmt.Errorf("core: MinEpoch %v exceeds MaxEpoch %v", c.MinEpoch, c.MaxEpoch)
+	}
+	if c.NVMBandwidth < 0 {
+		return fmt.Errorf("core: NVMBandwidth %g negative", c.NVMBandwidth)
+	}
+	if c.NVMWriteBandwidth < 0 {
+		return fmt.Errorf("core: NVMWriteBandwidth %g negative", c.NVMWriteBandwidth)
+	}
+	return nil
+}

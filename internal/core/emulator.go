@@ -1,0 +1,419 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/quartz-emu/quartz/internal/interpose"
+	"github.com/quartz-emu/quartz/internal/kmod"
+	"github.com/quartz-emu/quartz/internal/machine"
+	"github.com/quartz-emu/quartz/internal/perf"
+	"github.com/quartz-emu/quartz/internal/sim"
+	"github.com/quartz-emu/quartz/internal/simos"
+	"github.com/quartz-emu/quartz/internal/trace"
+)
+
+// epochReason classifies why an epoch was closed.
+type epochReason int
+
+const (
+	reasonMax  epochReason = iota + 1 // monitor signal: maximum epoch length
+	reasonSync                        // inter-thread communication event
+	reasonEnd                         // thread exit / emulator shutdown
+)
+
+// threadState is the emulator's per-registered-thread bookkeeping.
+type threadState struct {
+	t          *simos.Thread
+	epochStart sim.Time
+	snapshot   counterSample
+
+	inEpochEnd bool
+
+	// statistics
+	epochs        int64
+	maxEpochs     int64
+	syncEpochs    int64
+	injected      sim.Time
+	wouldInject   sim.Time
+	overhead      sim.Time
+	carry         sim.Time // accumulated not-yet-amortized overhead
+	epochLenSum   sim.Time
+	flushes       int64
+	flushStall    sim.Time
+	pendingWrites []sim.Time // clflushopt completions awaiting pcommit
+}
+
+// Emulator is an attached Quartz instance.
+type Emulator struct {
+	proc *simos.Process
+	mach *machine.Machine
+	cfg  Config
+	km   *kmod.Module
+
+	params   modelParams
+	nvmNode  int
+	writeLat sim.Time
+
+	threads  []*threadState
+	byThread map[*simos.Thread]*threadState
+
+	monitorThread *simos.Thread
+	stopMonitor   bool
+	restoreHooks  func()
+
+	attached bool
+	ran      bool
+}
+
+// Attach prepares emulation of proc under cfg: it verifies the platform
+// (DVFS off; counter support), programs the hardware via the kernel module
+// (bandwidth throttle, PMC events, user rdpmc), and interposes on the
+// process's thread and synchronization entry points. Call Run afterwards.
+func Attach(proc *simos.Process, cfg Config) (*Emulator, error) {
+	if proc == nil {
+		return nil, errors.New("core: nil process")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mach := proc.Machine()
+	mcfg := mach.Config()
+
+	// §6: a varying frequency breaks the cycles<->time translation the
+	// model depends on; the testbeds run with DVFS disabled.
+	if mach.DVFS().Enabled() {
+		return nil, errors.New("core: DVFS is enabled; disable frequency scaling before attaching (see §6)")
+	}
+
+	dramLat := cfg.DRAMLatency
+	nvmNode := -1
+	if cfg.TwoMemory {
+		if len(mach.Sockets()) < 2 {
+			return nil, errors.New("core: two-memory mode needs a multi-socket machine")
+		}
+		if !perf.SplitsLocalRemote(mach.Family()) {
+			return nil, fmt.Errorf("core: two-memory mode needs local/remote miss counters, unavailable on %v", mach.Family())
+		}
+		for _, s := range proc.Options().AllowedSockets {
+			if s != 0 {
+				return nil, fmt.Errorf("core: two-memory mode requires threads bound to socket 0 (allowed: %v)", proc.Options().AllowedSockets)
+			}
+		}
+		if len(proc.Options().AllowedSockets) == 0 {
+			return nil, errors.New("core: two-memory mode requires AllowedSockets=[0] (virtual topology)")
+		}
+		nvmNode = 1
+		if dramLat == 0 {
+			dramLat = mcfg.RemoteLat // remote DRAM is the NVM substrate
+		}
+	} else if dramLat == 0 {
+		dramLat = mcfg.LocalLat
+	}
+	if cfg.NVMLatency > 0 && cfg.NVMLatency < dramLat {
+		return nil, fmt.Errorf("core: NVM latency %v below DRAM baseline %v; DRAM cannot be sped up", cfg.NVMLatency, dramLat)
+	}
+
+	km, err := kmod.Open(mach)
+	if err != nil {
+		return nil, err
+	}
+	if err := km.ProgramCounters(); err != nil {
+		return nil, err
+	}
+	km.EnableUserRDPMC()
+
+	if cfg.NVMBandwidth > 0 || cfg.NVMWriteBandwidth > 0 {
+		readBW := cfg.NVMBandwidth
+		writeBW := cfg.NVMWriteBandwidth
+		if writeBW == 0 {
+			writeBW = readBW // symmetric throttling by default
+		}
+		var sockets []int
+		if cfg.TwoMemory {
+			sockets = []int{nvmNode}
+		} else {
+			for s := range mach.Sockets() {
+				sockets = append(sockets, s)
+			}
+		}
+		for _, s := range sockets {
+			if readBW > 0 {
+				reg, err := km.ThrottleForBandwidth(s, readBW)
+				if err != nil {
+					return nil, err
+				}
+				if err := km.SetReadThrottle(s, reg); err != nil {
+					return nil, err
+				}
+			}
+			if writeBW > 0 {
+				reg, err := km.ThrottleForBandwidth(s, writeBW)
+				if err != nil {
+					return nil, err
+				}
+				if err := km.SetWriteThrottle(s, reg); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	writeLat := cfg.WriteLatency
+	if writeLat == 0 && cfg.NVMLatency > dramLat {
+		writeLat = cfg.NVMLatency - dramLat
+	}
+
+	e := &Emulator{
+		proc: proc,
+		mach: mach,
+		cfg:  cfg,
+		km:   km,
+		params: modelParams{
+			model:     cfg.Model,
+			nvmLat:    cfg.NVMLatency,
+			dramLat:   dramLat,
+			l3Lat:     mcfg.L1.LookupLat + mcfg.L2.LookupLat + mcfg.L3.LookupLat,
+			localLat:  mcfg.LocalLat,
+			remoteLat: mcfg.RemoteLat,
+			freqHz:    mcfg.Core.FreqHz,
+			twoMemory: cfg.TwoMemory,
+		},
+		nvmNode:  nvmNode,
+		writeLat: writeLat,
+		byThread: make(map[*simos.Thread]*threadState),
+	}
+
+	restore, err := interpose.Install(proc, interpose.Hooks{
+		ThreadStarted:       e.onThreadStarted,
+		BeforeMutexLock:     func(t *simos.Thread, _ *simos.Mutex) { e.onSyncEvent(t) },
+		BeforeMutexUnlock:   func(t *simos.Thread, _ *simos.Mutex) { e.onSyncEvent(t) },
+		BeforeCondSignal:    func(t *simos.Thread, _ *simos.Cond) { e.onSyncEvent(t) },
+		BeforeCondBroadcast: func(t *simos.Thread, _ *simos.Cond) { e.onSyncEvent(t) },
+		BeforeRWLock:        func(t *simos.Thread, _ *simos.RWMutex) { e.onSyncEvent(t) },
+		BeforeRWUnlock:      func(t *simos.Thread, _ *simos.RWMutex) { e.onSyncEvent(t) },
+		BeforeBarrierWait:   func(t *simos.Thread, _ *simos.Barrier) { e.onSyncEvent(t) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.restoreHooks = restore
+	proc.RegisterHandler(simos.SigEpoch, e.onSigEpoch)
+	e.attached = true
+	return e, nil
+}
+
+// Config reports the effective (default-filled) configuration.
+func (e *Emulator) Config() Config { return e.cfg }
+
+// DRAMLatency reports the baseline latency the model uses.
+func (e *Emulator) DRAMLatency() sim.Time { return e.params.dramLat }
+
+// WriteLatency reports the effective PFlush write delay.
+func (e *Emulator) WriteLatency() sim.Time { return e.writeLat }
+
+// Run executes fn as the emulated process's main function: the library
+// initializes (charging its §3.2 init cost), registers the main thread,
+// starts the monitor, runs fn, and shuts the monitor down.
+func (e *Emulator) Run(fn simos.ThreadFunc) error {
+	if !e.attached {
+		return errors.New("core: emulator not attached")
+	}
+	if e.ran {
+		return errors.New("core: emulator already ran")
+	}
+	e.ran = true
+	err := e.proc.Run(func(t *simos.Thread) {
+		t.Compute(e.cfg.InitCycles)
+		e.register(t)
+
+		monSocket := len(e.mach.Sockets()) - 1
+		mon, merr := t.CreateThreadOn(monSocket, "quartz-monitor", e.monitorLoop)
+		if merr != nil {
+			t.Failf("core: spawning monitor: %v", merr)
+		}
+		e.monitorThread = mon
+
+		fn(t)
+
+		// Close the main thread's final epoch so trailing stalls are
+		// accounted, then stop the monitor.
+		if ts := e.byThread[t]; ts != nil {
+			e.endEpoch(ts, reasonEnd)
+		}
+		e.stopMonitor = true
+		t.Kill(mon, simos.SigEpoch)
+		t.Join(mon)
+	})
+	e.restoreHooks()
+	return err
+}
+
+// onThreadStarted registers a new application thread with the monitor
+// (Fig. 5 step 1), charging the §3.2 registration cost.
+func (e *Emulator) onThreadStarted(t *simos.Thread) {
+	if t == e.monitorThread {
+		return
+	}
+	t.Compute(e.cfg.RegisterCycles)
+	e.register(t)
+}
+
+// register starts epoch bookkeeping for t.
+func (e *Emulator) register(t *simos.Thread) {
+	ts := &threadState{t: t}
+	ts.epochStart = t.Now()
+	ts.snapshot = e.readCountersRaw(t)
+	e.threads = append(e.threads, ts)
+	e.byThread[t] = ts
+}
+
+// onSyncEvent closes the current epoch before an inter-thread communication
+// event (lock release, condvar notify) so the accumulated delay propagates
+// to waiting threads (§2.3), subject to the minimum epoch length.
+func (e *Emulator) onSyncEvent(t *simos.Thread) {
+	ts := e.byThread[t]
+	if ts == nil || ts.inEpochEnd {
+		return
+	}
+	if t.Now()-ts.epochStart < e.cfg.MinEpoch {
+		return
+	}
+	e.endEpoch(ts, reasonSync)
+}
+
+// onSigEpoch handles the monitor's maximum-epoch signal in the context of
+// the interrupted thread (Fig. 5 steps 2-6).
+func (e *Emulator) onSigEpoch(t *simos.Thread, _ simos.Signal) {
+	ts := e.byThread[t]
+	if ts == nil || ts.inEpochEnd {
+		return // monitor shutdown kick or unregistered thread
+	}
+	if t.Now()-ts.epochStart < e.cfg.MinEpoch {
+		return // epoch was reset after the signal was sent (wake-up drift)
+	}
+	e.endEpoch(ts, reasonMax)
+}
+
+// CloseEpoch force-closes t's current epoch, injecting any accrued delay
+// immediately. Measurement harnesses call it before reading timestamps so a
+// partial trailing epoch does not escape the measured window; long-running
+// applications do not need it.
+func (e *Emulator) CloseEpoch(t *simos.Thread) {
+	ts := e.byThread[t]
+	if ts == nil || ts.inEpochEnd {
+		return
+	}
+	e.endEpoch(ts, reasonEnd)
+}
+
+// monitorLoop periodically scans registered threads and signals those whose
+// epoch exceeds the maximum length.
+func (e *Emulator) monitorLoop(mt *simos.Thread) {
+	for !e.stopMonitor {
+		_ = mt.Nanosleep(e.cfg.MonitorInterval) // EINTR only at shutdown
+		if e.stopMonitor {
+			return
+		}
+		mt.YieldStrict()
+		for _, ts := range e.threads {
+			if ts.t.Done() || ts.t == mt {
+				continue
+			}
+			if mt.Now()-ts.epochStart > e.cfg.MaxEpoch {
+				mt.Kill(ts.t, simos.SigEpoch)
+			}
+		}
+	}
+}
+
+// readCountersRaw reads the Table 1 events without charging read cost (used
+// for the initial snapshot, which the real library folds into registration).
+func (e *Emulator) readCountersRaw(t *simos.Thread) counterSample {
+	ctr := t.Core().Counters()
+	var s counterSample
+	read := func(ev perf.Event) uint64 {
+		v, err := ctr.Read(ev)
+		if err != nil {
+			t.Failf("core: reading %v: %v", ev, err)
+		}
+		return v
+	}
+	s.stallCycles = read(perf.EventStallsL2Pending)
+	s.l3Hit = read(perf.EventL3Hit)
+	if perf.SplitsLocalRemote(ctr.Family()) {
+		s.l3MissLoc = read(perf.EventL3MissLocal)
+		s.l3MissRem = read(perf.EventL3MissRemote)
+	} else {
+		s.l3MissLoc = read(perf.EventL3Miss)
+	}
+	return s
+}
+
+// endEpoch closes ts's current epoch: reads the counters (charging rdpmc or
+// PAPI cost), evaluates the analytic model, amortizes accumulated overhead,
+// injects the remaining delay by spinning, and opens a new epoch.
+func (e *Emulator) endEpoch(ts *threadState, reason epochReason) {
+	t := ts.t
+	ts.inEpochEnd = true
+	defer func() { ts.inEpochEnd = false }()
+
+	epochLen := t.Now() - ts.epochStart
+
+	nEvents := len(perf.EventsFor(e.mach.Family()))
+	costCycles := perf.ReadCostCycles(e.cfg.CounterMode, nEvents) + e.cfg.EpochLogicCycles
+	t.Compute(costCycles)
+	overhead := t.Core().TimeForCycles(costCycles)
+
+	sample := e.readCountersRaw(t)
+	delta := sample.delta(ts.snapshot)
+	delay := e.params.delay(delta)
+
+	ts.epochs++
+	switch reason {
+	case reasonMax:
+		ts.maxEpochs++
+	case reasonSync:
+		ts.syncEpochs++
+	}
+	ts.epochLenSum += epochLen
+	ts.overhead += overhead
+
+	if e.cfg.DisableAmortization {
+		if !e.cfg.InjectionOff && delay > 0 {
+			e.inject(ts, delay)
+		} else {
+			ts.wouldInject += delay
+		}
+	} else {
+		// §3.2: discount injected delay by accumulated epoch-processing
+		// overhead; carry the remainder into upcoming epochs.
+		ts.carry += overhead
+		switch {
+		case e.cfg.InjectionOff:
+			ts.wouldInject += delay
+		case delay > ts.carry:
+			inject := delay - ts.carry
+			ts.carry = 0
+			e.inject(ts, inject)
+		default:
+			ts.carry -= delay
+		}
+	}
+
+	t.Trace(trace.KindEpoch, fmt.Sprintf("len=%v delay=%v reason=%d", epochLen, delay, int(reason)))
+
+	// Open the next epoch.
+	ts.epochStart = t.Now()
+	ts.snapshot = e.readCountersRaw(t)
+}
+
+// inject spins for d of virtual time using the rdtscp spin loop.
+func (e *Emulator) inject(ts *threadState, d sim.Time) {
+	t := ts.t
+	t.Trace(trace.KindInject, d.String())
+	target := t.Core().TSC(t.Now()) + uint64(sim.TimeToCycles(d, t.Core().FreqHz()))
+	t.SpinUntilTSC(target, e.cfg.SpinPollCycles)
+	ts.injected += d
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/quartz-emu/quartz/internal/perf"
+	"github.com/quartz-emu/quartz/internal/sim"
+)
+
+// ParseINI reads a Quartz configuration in the nvmemul.ini format the real
+// project ships. Supported schema (all sections and keys optional; unknown
+// keys are rejected so typos fail loudly):
+//
+//	[latency]
+//	enable = true      ; false leaves read latency unemulated
+//	read   = 500       ; target NVM read latency, ns
+//	write  = 700       ; pflush write delay, ns (0 = read - DRAM gap)
+//
+//	[bandwidth]
+//	enable = true
+//	read   = 5000      ; NVM read bandwidth, MB/s
+//	write  = 2000      ; NVM write bandwidth, MB/s (0 = same as read)
+//	model  = 5000      ; legacy symmetric knob, MB/s
+//
+//	[epochs]
+//	min = 0.1          ; minimum epoch, ms
+//	max = 10           ; maximum epoch, ms
+//	monitor_interval = 5 ; monitor wake-up, ms
+//
+//	[model]
+//	type   = stall     ; stall (Eq.2) | simple (Eq.1)
+//	pmc    = rdpmc     ; rdpmc | papi
+//	inject = true      ; false = switched-off delay injection (§3.2)
+//	amortize = true    ; false disables overhead carry-over
+//
+//	[topology]
+//	two_memory = false ; DRAM+NVM virtual topology (§3.3)
+//
+// Comments start with ';' or '#'. Booleans accept true/false/1/0/yes/no.
+func ParseINI(r io.Reader) (Config, error) {
+	var cfg Config
+	latencyEnabled := true
+	bandwidthEnabled := true
+	var latReadNS, latWriteNS float64
+	var bwReadMB, bwWriteMB float64
+
+	section := ""
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "[") && strings.HasSuffix(line, "]") {
+			section = strings.ToLower(strings.TrimSpace(line[1 : len(line)-1]))
+			switch section {
+			case "latency", "bandwidth", "epochs", "model", "topology", "general":
+			default:
+				return Config{}, fmt.Errorf("core: ini line %d: unknown section %q", lineNo, section)
+			}
+			continue
+		}
+		key, value, ok := strings.Cut(line, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("core: ini line %d: expected key = value, got %q", lineNo, line)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		value = strings.TrimSpace(value)
+
+		fail := func(err error) (Config, error) {
+			return Config{}, fmt.Errorf("core: ini line %d: key %q: %w", lineNo, key, err)
+		}
+		switch section {
+		case "latency":
+			switch key {
+			case "enable":
+				b, err := parseBool(value)
+				if err != nil {
+					return fail(err)
+				}
+				latencyEnabled = b
+			case "read":
+				v, err := strconv.ParseFloat(value, 64)
+				if err != nil {
+					return fail(err)
+				}
+				latReadNS = v
+			case "write":
+				v, err := strconv.ParseFloat(value, 64)
+				if err != nil {
+					return fail(err)
+				}
+				latWriteNS = v
+			default:
+				return fail(fmt.Errorf("unknown key"))
+			}
+		case "bandwidth":
+			switch key {
+			case "enable":
+				b, err := parseBool(value)
+				if err != nil {
+					return fail(err)
+				}
+				bandwidthEnabled = b
+			case "read", "model":
+				v, err := strconv.ParseFloat(value, 64)
+				if err != nil {
+					return fail(err)
+				}
+				bwReadMB = v
+			case "write":
+				v, err := strconv.ParseFloat(value, 64)
+				if err != nil {
+					return fail(err)
+				}
+				bwWriteMB = v
+			default:
+				return fail(fmt.Errorf("unknown key"))
+			}
+		case "epochs":
+			v, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				return fail(err)
+			}
+			d := sim.Time(v * float64(sim.Millisecond))
+			switch key {
+			case "min":
+				cfg.MinEpoch = d
+			case "max":
+				cfg.MaxEpoch = d
+			case "monitor_interval":
+				cfg.MonitorInterval = d
+			default:
+				return fail(fmt.Errorf("unknown key"))
+			}
+		case "model":
+			switch key {
+			case "type":
+				switch strings.ToLower(value) {
+				case "stall":
+					cfg.Model = ModelStall
+				case "simple":
+					cfg.Model = ModelSimple
+				default:
+					return fail(fmt.Errorf("unknown model %q", value))
+				}
+			case "pmc":
+				switch strings.ToLower(value) {
+				case "rdpmc":
+					cfg.CounterMode = perf.RDPMC
+				case "papi":
+					cfg.CounterMode = perf.PAPI
+				default:
+					return fail(fmt.Errorf("unknown pmc mode %q", value))
+				}
+			case "inject":
+				b, err := parseBool(value)
+				if err != nil {
+					return fail(err)
+				}
+				cfg.InjectionOff = !b
+			case "amortize":
+				b, err := parseBool(value)
+				if err != nil {
+					return fail(err)
+				}
+				cfg.DisableAmortization = !b
+			default:
+				return fail(fmt.Errorf("unknown key"))
+			}
+		case "topology":
+			switch key {
+			case "two_memory":
+				b, err := parseBool(value)
+				if err != nil {
+					return fail(err)
+				}
+				cfg.TwoMemory = b
+			default:
+				return fail(fmt.Errorf("unknown key"))
+			}
+		case "general":
+			// Accepted for compatibility; no knobs yet.
+		default:
+			return Config{}, fmt.Errorf("core: ini line %d: key %q outside any section", lineNo, key)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return Config{}, fmt.Errorf("core: reading ini: %w", err)
+	}
+
+	if latencyEnabled {
+		cfg.NVMLatency = sim.FromNanos(latReadNS)
+		cfg.WriteLatency = sim.FromNanos(latWriteNS)
+	}
+	if bandwidthEnabled {
+		cfg.NVMBandwidth = bwReadMB * 1e6
+		cfg.NVMWriteBandwidth = bwWriteMB * 1e6
+	}
+	return cfg, nil
+}
+
+// LoadINIFile reads a configuration file via ParseINI.
+func LoadINIFile(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("core: opening config: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	return ParseINI(f)
+}
+
+func parseBool(s string) (bool, error) {
+	switch strings.ToLower(s) {
+	case "true", "1", "yes", "on":
+		return true, nil
+	case "false", "0", "no", "off":
+		return false, nil
+	default:
+		return false, fmt.Errorf("invalid boolean %q", s)
+	}
+}

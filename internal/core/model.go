@@ -1,0 +1,100 @@
+package core
+
+import (
+	"github.com/quartz-emu/quartz/internal/sim"
+)
+
+// counterSample is one reading of the Table 1 events.
+type counterSample struct {
+	stallCycles uint64
+	l3Hit       uint64
+	l3MissLoc   uint64 // total misses on Sandy Bridge (no split)
+	l3MissRem   uint64 // zero on Sandy Bridge
+}
+
+// delta subtracts an epoch-start snapshot from an epoch-end reading.
+func (s counterSample) delta(base counterSample) counterSample {
+	sub := func(a, b uint64) uint64 {
+		if a < b { // counter noise can make cumulative reads regress slightly
+			return 0
+		}
+		return a - b
+	}
+	return counterSample{
+		stallCycles: sub(s.stallCycles, base.stallCycles),
+		l3Hit:       sub(s.l3Hit, base.l3Hit),
+		l3MissLoc:   sub(s.l3MissLoc, base.l3MissLoc),
+		l3MissRem:   sub(s.l3MissRem, base.l3MissRem),
+	}
+}
+
+func (s counterSample) misses() uint64 { return s.l3MissLoc + s.l3MissRem }
+
+// modelParams are the calibrated latencies the analytic model needs.
+type modelParams struct {
+	model     Model
+	nvmLat    sim.Time // target NVM latency
+	dramLat   sim.Time // measured DRAM baseline (remote DRAM in two-memory mode)
+	l3Lat     sim.Time // measured L3 hit latency (for W)
+	localLat  sim.Time // local DRAM latency (two-memory split weights)
+	remoteLat sim.Time // remote DRAM latency (two-memory split weights)
+	freqHz    float64  // core frequency for cycle<->time translation
+	twoMemory bool
+}
+
+// ldmStall implements Eq. 3: it scales the raw STALLS_L2_PENDING cycles —
+// which include stalls served by the L3 — down to the portion attributable
+// to memory, using the L3 hit/miss mix weighted by W = DRAM_lat / L3_lat.
+func (p modelParams) ldmStall(d counterSample) float64 {
+	miss := float64(d.misses())
+	if miss == 0 {
+		return 0
+	}
+	w := float64(p.dramLat) / float64(p.l3Lat)
+	hit := float64(d.l3Hit)
+	return float64(d.stallCycles) * (w * miss) / (hit + w*miss)
+}
+
+// splitRemote implements Eq. 4: it splits total memory stall cycles into the
+// portion attributable to remote-DRAM (virtual NVM) accesses, weighting the
+// local and remote reference counts by their measured latencies.
+func (p modelParams) splitRemote(stallCycles float64, d counterSample) float64 {
+	loc := float64(d.l3MissLoc) * float64(p.localLat)
+	rem := float64(d.l3MissRem) * float64(p.remoteLat)
+	if rem == 0 {
+		return 0
+	}
+	return stallCycles * rem / (loc + rem)
+}
+
+// delay computes the epoch's injected delay Δᵢ from the counter delta.
+//
+// ModelStall (Eq. 2): Δ = LDM_STALL / DRAM_lat · (NVM_lat − DRAM_lat),
+// where LDM_STALL is first extracted via Eq. 3 and, in two-memory mode,
+// narrowed to the remote portion via Eq. 4.
+//
+// ModelSimple (Eq. 1): Δ = M · (NVM_lat − DRAM_lat) with M the raw memory
+// reference count, ignoring memory-level parallelism.
+func (p modelParams) delay(d counterSample) sim.Time {
+	extra := p.nvmLat - p.dramLat
+	if extra <= 0 {
+		return 0
+	}
+	switch p.model {
+	case ModelSimple:
+		m := float64(d.misses())
+		if p.twoMemory {
+			m = float64(d.l3MissRem)
+		}
+		return sim.Time(m * float64(extra))
+	default:
+		stall := p.ldmStall(d)
+		if p.twoMemory {
+			stall = p.splitRemote(stall, d)
+		}
+		stallTime := sim.CyclesToTime(int64(stall), p.freqHz)
+		// Δ = (stall / DRAM_lat) * (NVM_lat - DRAM_lat): the number of
+		// serial memory accesses times the per-access latency increase.
+		return sim.Time(float64(stallTime) / float64(p.dramLat) * float64(extra))
+	}
+}

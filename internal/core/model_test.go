@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/quartz-emu/quartz/internal/sim"
+)
+
+func ivyParams() modelParams {
+	return modelParams{
+		model:     ModelStall,
+		nvmLat:    sim.FromNanos(500),
+		dramLat:   sim.FromNanos(87),
+		l3Lat:     sim.FromNanos(17.5),
+		localLat:  sim.FromNanos(87),
+		remoteLat: sim.FromNanos(176),
+		freqHz:    2.2e9,
+	}
+}
+
+func TestEq3AllMissesPassesStallsThrough(t *testing.T) {
+	p := ivyParams()
+	d := counterSample{stallCycles: 100_000, l3MissLoc: 500}
+	if got := p.ldmStall(d); math.Abs(got-100_000) > 1e-6 {
+		t.Errorf("ldmStall with no L3 hits = %g, want 100000", got)
+	}
+}
+
+func TestEq3ScalesByHitMissMix(t *testing.T) {
+	p := ivyParams()
+	// W = 87/17.5 ~= 4.97. With equal hits and misses, the memory share is
+	// W/(1+W) ~= 0.833.
+	d := counterSample{stallCycles: 100_000, l3Hit: 1000, l3MissLoc: 1000}
+	w := 87.0 / 17.5
+	want := 100_000 * w / (1 + w)
+	if got := p.ldmStall(d); math.Abs(got-want) > 1 {
+		t.Errorf("ldmStall = %g, want %g", got, want)
+	}
+}
+
+func TestEq3NoMissesNoStall(t *testing.T) {
+	p := ivyParams()
+	d := counterSample{stallCycles: 100_000, l3Hit: 5000}
+	if got := p.ldmStall(d); got != 0 {
+		t.Errorf("ldmStall with no misses = %g, want 0", got)
+	}
+}
+
+func TestEq4PaperExample(t *testing.T) {
+	// §3.3's worked example: 3000ns total stall, 10 local refs at 100ns,
+	// 10 remote refs at 200ns -> 2000ns attributed to remote.
+	p := modelParams{
+		localLat:  sim.FromNanos(100),
+		remoteLat: sim.FromNanos(200),
+	}
+	d := counterSample{l3MissLoc: 10, l3MissRem: 10}
+	got := p.splitRemote(3000, d)
+	if math.Abs(got-2000) > 1e-9 {
+		t.Errorf("splitRemote = %g, want 2000 (paper's example)", got)
+	}
+}
+
+func TestEq4NoRemoteRefs(t *testing.T) {
+	p := modelParams{localLat: sim.FromNanos(100), remoteLat: sim.FromNanos(200)}
+	d := counterSample{l3MissLoc: 10}
+	if got := p.splitRemote(3000, d); got != 0 {
+		t.Errorf("splitRemote with no remote refs = %g, want 0", got)
+	}
+}
+
+func TestEq2DelayForSerialChase(t *testing.T) {
+	// A serial pointer chase: every access stalls the full DRAM latency.
+	// N accesses at 87ns = N*87ns of stall; the injected delay must be
+	// N*(500-87)ns.
+	p := ivyParams()
+	const n = 1000
+	stallCycles := sim.TimeToCycles(n*sim.FromNanos(87), p.freqHz)
+	d := counterSample{stallCycles: uint64(stallCycles), l3MissLoc: n}
+	got := p.delay(d)
+	want := n * sim.FromNanos(500-87)
+	if rel := math.Abs(float64(got-want)) / float64(want); rel > 0.001 {
+		t.Errorf("delay = %v, want %v (%.3f%% off)", got, want, rel*100)
+	}
+}
+
+func TestEq2AccountsForMLP(t *testing.T) {
+	// With MLP=4, the same 1000 references produce only 1000/4 serial
+	// stall periods, so Eq. 2 must inject a quarter of the serial delay
+	// while Eq. 1 still injects the full amount (Fig. 2).
+	p := ivyParams()
+	const n = 1000
+	stallCycles := sim.TimeToCycles(n/4*sim.FromNanos(87), p.freqHz)
+	d := counterSample{stallCycles: uint64(stallCycles), l3MissLoc: n}
+
+	eq2 := p.delay(d)
+	p.model = ModelSimple
+	eq1 := p.delay(d)
+
+	serial := n * sim.FromNanos(500-87)
+	if rel := math.Abs(float64(eq1-serial)) / float64(serial); rel > 0.001 {
+		t.Errorf("Eq.1 delay = %v, want full serial %v", eq1, serial)
+	}
+	if ratio := float64(eq1) / float64(eq2); ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("Eq.1/Eq.2 ratio = %g, want ~4 (the MLP factor)", ratio)
+	}
+}
+
+func TestDelayZeroWhenTargetBelowBaseline(t *testing.T) {
+	p := ivyParams()
+	p.nvmLat = sim.FromNanos(50) // below DRAM: nothing to add
+	d := counterSample{stallCycles: 1 << 20, l3MissLoc: 1000}
+	if got := p.delay(d); got != 0 {
+		t.Errorf("delay = %v, want 0 when NVM <= DRAM", got)
+	}
+}
+
+func TestTwoMemoryDelayOnlyForRemote(t *testing.T) {
+	p := ivyParams()
+	p.twoMemory = true
+	p.nvmLat = sim.FromNanos(500)
+	p.dramLat = p.remoteLat
+	stallCycles := sim.TimeToCycles(1000*sim.FromNanos(87), p.freqHz)
+	localOnly := counterSample{stallCycles: uint64(stallCycles), l3MissLoc: 1000}
+	if got := p.delay(localOnly); got != 0 {
+		t.Errorf("two-memory delay for local-only epoch = %v, want 0", got)
+	}
+	mixed := counterSample{stallCycles: uint64(stallCycles), l3MissLoc: 500, l3MissRem: 500}
+	if got := p.delay(mixed); got <= 0 {
+		t.Error("two-memory delay for mixed epoch not positive")
+	}
+}
+
+func TestDeltaSaturatesAtZero(t *testing.T) {
+	a := counterSample{stallCycles: 100, l3Hit: 5}
+	b := counterSample{stallCycles: 150, l3Hit: 3} // noise regression
+	d := a.delta(b)
+	if d.stallCycles != 0 {
+		t.Errorf("negative stall delta = %d, want clamp to 0", d.stallCycles)
+	}
+	if d.l3Hit != 2 {
+		t.Errorf("hit delta = %d, want 2", d.l3Hit)
+	}
+}
+
+// TestDelayMonotoneInTarget: higher NVM targets never produce smaller
+// delays, for any counter mix.
+func TestDelayMonotoneInTarget(t *testing.T) {
+	prop := func(stall uint32, hit, missL, missR uint16, bump uint16) bool {
+		p := ivyParams()
+		d := counterSample{
+			stallCycles: uint64(stall),
+			l3Hit:       uint64(hit),
+			l3MissLoc:   uint64(missL),
+			l3MissRem:   uint64(missR),
+		}
+		p.nvmLat = sim.FromNanos(200)
+		lo := p.delay(d)
+		p.nvmLat = sim.FromNanos(200 + float64(bump))
+		hi := p.delay(d)
+		return hi >= lo
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if ModelStall.String() != "stall (Eq. 2)" || ModelSimple.String() != "simple (Eq. 1)" {
+		t.Error("Model.String mismatch")
+	}
+}

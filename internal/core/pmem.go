@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/quartz-emu/quartz/internal/sim"
+	"github.com/quartz-emu/quartz/internal/simos"
+)
+
+// PMalloc allocates persistent memory (§3.1 pmalloc). In two-memory mode it
+// serves from the virtual-NVM node (remote DRAM, §3.3); in single-memory
+// mode the whole address space is persistent memory, so it is a plain
+// allocation.
+func (e *Emulator) PMalloc(size uintptr) (uintptr, error) {
+	if e.cfg.TwoMemory {
+		return e.proc.MallocOnNode(size, e.nvmNode)
+	}
+	return e.proc.Malloc(size)
+}
+
+// PFree releases persistent memory (pfree).
+func (e *Emulator) PFree(addr uintptr) {
+	if e.cfg.TwoMemory && e.proc.NodeOf(addr) != e.nvmNode {
+		// Freeing volatile memory through pfree is an application bug the
+		// real library tolerates; we keep the same behaviour.
+		e.proc.Free(addr)
+		return
+	}
+	e.proc.Free(addr)
+}
+
+// PFlush writes back the cache line holding addr with clflush — stalling
+// until the line reaches memory — and then injects the configured write
+// delay, emulating a slower synchronous NVM write (§3.1). It pessimistically
+// serializes dependent writes: each PFlush completes before the caller can
+// issue the next.
+func (e *Emulator) PFlush(t *simos.Thread, addr uintptr) {
+	start := t.Now()
+	t.Flush(addr)
+	if e.writeLat > 0 && !e.cfg.InjectionOff {
+		target := t.Core().TSC(t.Now()) + uint64(sim.TimeToCycles(e.writeLat, t.Core().FreqHz()))
+		t.SpinUntilTSC(target, e.cfg.SpinPollCycles)
+	}
+	if ts := e.byThread[t]; ts != nil {
+		ts.flushes++
+		ts.flushStall += t.Now() - start
+	}
+}
+
+// PFlushOpt writes back the cache line with clflushopt — without stalling —
+// and records its expected NVM completion time for the next PCommit barrier
+// (§6's write-parallelism extension). Independent flushes between barriers
+// therefore proceed in parallel.
+func (e *Emulator) PFlushOpt(t *simos.Thread, addr uintptr) {
+	wb := t.FlushOpt(addr)
+	if wb == 0 {
+		wb = t.Now() // clean line: nothing to write back
+	}
+	expected := wb + e.writeLat
+	if ts := e.byThread[t]; ts != nil {
+		ts.flushes++
+		ts.pendingWrites = append(ts.pendingWrites, expected)
+	}
+}
+
+// PCommit stalls until every outstanding PFlushOpt write is durable,
+// injecting only the portion of the accumulated write delay not already
+// hidden by execution since the flushes were issued — flushes expected to
+// have completed by the time the program reaches the barrier are discounted
+// (§6).
+func (e *Emulator) PCommit(t *simos.Thread) {
+	ts := e.byThread[t]
+	if ts == nil || len(ts.pendingWrites) == 0 {
+		return
+	}
+	var latest sim.Time
+	for _, w := range ts.pendingWrites {
+		if w > latest {
+			latest = w
+		}
+	}
+	ts.pendingWrites = ts.pendingWrites[:0]
+	if e.cfg.InjectionOff {
+		return
+	}
+	if latest > t.Now() {
+		start := t.Now()
+		t.Fence(latest)
+		ts.flushStall += t.Now() - start
+	}
+}
+
+// IsNVM reports whether addr belongs to emulated persistent memory.
+func (e *Emulator) IsNVM(addr uintptr) bool {
+	if !e.cfg.TwoMemory {
+		return true
+	}
+	return e.proc.NodeOf(addr) == e.nvmNode
+}
+
+// NVMNode reports the NUMA node backing virtual NVM (-1 in single-memory
+// mode).
+func (e *Emulator) NVMNode() int { return e.nvmNode }
+
+// String summarizes the emulation target.
+func (e *Emulator) String() string {
+	mode := "PM-only"
+	if e.cfg.TwoMemory {
+		mode = "DRAM+NVM"
+	}
+	return fmt.Sprintf("quartz(%s, NVM %v, DRAM %v)", mode, e.cfg.NVMLatency, e.params.dramLat)
+}

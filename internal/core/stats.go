@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/quartz-emu/quartz/internal/sim"
+)
+
+// ThreadStats reports one registered thread's emulation activity.
+type ThreadStats struct {
+	Name        string
+	Epochs      int64
+	MaxEpochs   int64 // closed by the monitor's signal
+	SyncEpochs  int64 // closed at inter-thread communication events
+	AvgEpochLen sim.Time
+	Injected    sim.Time // delay actually injected
+	WouldInject sim.Time // delay computed in switched-off-injection mode
+	Overhead    sim.Time // epoch-processing cost accrued
+	Unamortized sim.Time // overhead not yet recovered from delays
+	Flushes     int64
+	FlushStall  sim.Time
+}
+
+// Stats aggregates emulator activity, with the §3.2 feedback on whether the
+// epoch-processing overhead was fully amortized.
+type Stats struct {
+	Threads     []ThreadStats
+	Epochs      int64
+	MaxEpochs   int64
+	SyncEpochs  int64
+	Injected    sim.Time
+	WouldInject sim.Time
+	Overhead    sim.Time
+	Unamortized sim.Time
+	Flushes     int64
+	FlushStall  sim.Time
+
+	// Amortized reports whether the accumulated epoch overhead was fully
+	// recovered by discounting injected delays.
+	Amortized bool
+}
+
+// Stats returns the emulator's accumulated statistics. Valid after Run.
+func (e *Emulator) Stats() Stats {
+	var s Stats
+	for _, ts := range e.threads {
+		t := ThreadStats{
+			Name:        ts.t.Name(),
+			Epochs:      ts.epochs,
+			MaxEpochs:   ts.maxEpochs,
+			SyncEpochs:  ts.syncEpochs,
+			Injected:    ts.injected,
+			WouldInject: ts.wouldInject,
+			Overhead:    ts.overhead,
+			Unamortized: ts.carry,
+			Flushes:     ts.flushes,
+			FlushStall:  ts.flushStall,
+		}
+		if ts.epochs > 0 {
+			t.AvgEpochLen = ts.epochLenSum / sim.Time(ts.epochs)
+		}
+		s.Threads = append(s.Threads, t)
+		s.Epochs += t.Epochs
+		s.MaxEpochs += t.MaxEpochs
+		s.SyncEpochs += t.SyncEpochs
+		s.Injected += t.Injected
+		s.WouldInject += t.WouldInject
+		s.Overhead += t.Overhead
+		s.Unamortized += t.Unamortized
+		s.Flushes += t.Flushes
+		s.FlushStall += t.FlushStall
+	}
+	s.Amortized = s.Unamortized == 0 || s.Overhead == 0 ||
+		float64(s.Unamortized)/float64(s.Overhead) < 0.05
+	return s
+}
+
+// Suggestion implements the §3.2 user feedback: it reports whether the
+// overhead was amortized and whether adjusting the epoch size may improve
+// accuracy for this workload.
+func (s Stats) Suggestion() string {
+	var b strings.Builder
+	if s.Epochs == 0 {
+		return "no epochs were closed; the workload may be shorter than the maximum epoch"
+	}
+	if s.Amortized {
+		b.WriteString("emulator overhead fully amortized")
+	} else {
+		frac := float64(s.Unamortized) / float64(s.Overhead)
+		fmt.Fprintf(&b, "%.0f%% of epoch overhead was NOT amortized; the emulated latency is overstated — consider a larger min/max epoch", frac*100)
+	}
+	if s.Epochs > 0 {
+		syncFrac := float64(s.SyncEpochs) / float64(s.Epochs)
+		if syncFrac > 0.95 {
+			b.WriteString("; epochs are dominated by synchronization events — a smaller min epoch would track dependencies more closely")
+		}
+	}
+	if s.Injected == 0 && s.WouldInject == 0 {
+		b.WriteString("; no delay was computed — the workload may be compute-bound or cache-resident (memory-bound workloads benefit from a smaller epoch)")
+	}
+	return b.String()
+}

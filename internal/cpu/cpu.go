@@ -1,0 +1,364 @@
+// Package cpu models processor cores: the cache walk for loads and stores,
+// memory-level parallelism through MSHR-bounded parallel load groups, stall
+// attribution to performance counters, the invariant timestamp counter
+// (rdtscp), and an optional DVFS governor whose frequency wobble breaks the
+// cycles-to-nanoseconds translation exactly as §6 of the paper warns.
+package cpu
+
+import (
+	"fmt"
+
+	"github.com/quartz-emu/quartz/internal/cache"
+	"github.com/quartz-emu/quartz/internal/mem"
+	"github.com/quartz-emu/quartz/internal/perf"
+	"github.com/quartz-emu/quartz/internal/sim"
+)
+
+// MemorySystem routes line requests to NUMA memory controllers. It is
+// implemented by machine.Machine.
+type MemorySystem interface {
+	// HomeNode reports the NUMA node owning the physical address.
+	HomeNode(addr uintptr) int
+	// Access admits a line request at virtual time now issued by a core on
+	// fromSocket and returns its completion time.
+	Access(now sim.Time, addr uintptr, kind mem.AccessKind, fromSocket int) sim.Time
+}
+
+// Source classifies where a load was served from.
+type Source int
+
+// Load sources.
+const (
+	SrcL1 Source = iota + 1
+	SrcL2
+	SrcL3
+	SrcMemLocal
+	SrcMemRemote
+)
+
+func (s Source) String() string {
+	switch s {
+	case SrcL1:
+		return "L1"
+	case SrcL2:
+		return "L2"
+	case SrcL3:
+		return "L3"
+	case SrcMemLocal:
+		return "local DRAM"
+	case SrcMemRemote:
+		return "remote DRAM"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// Config describes one core.
+type Config struct {
+	// FreqHz is the nominal core frequency.
+	FreqHz float64
+	// MSHRs bounds outstanding parallel demand misses (memory-level
+	// parallelism). Modern Xeons have 10 line-fill buffers per core.
+	MSHRs int
+	// LineSize is the cache line size in bytes.
+	LineSize int
+	// PrefetchDepth is the stream prefetcher's look-ahead distance in
+	// lines (0 disables prefetching).
+	PrefetchDepth int
+}
+
+// Validate reports whether the core configuration is usable.
+func (c Config) Validate() error {
+	if c.FreqHz <= 0 {
+		return fmt.Errorf("cpu: FreqHz = %g, must be positive", c.FreqHz)
+	}
+	if c.MSHRs <= 0 {
+		return fmt.Errorf("cpu: MSHRs = %d, must be positive", c.MSHRs)
+	}
+	if c.LineSize <= 0 {
+		return fmt.Errorf("cpu: LineSize = %d, must be positive", c.LineSize)
+	}
+	if c.PrefetchDepth < 0 {
+		return fmt.Errorf("cpu: PrefetchDepth = %d, must be non-negative", c.PrefetchDepth)
+	}
+	return nil
+}
+
+// Core is one simulated hardware thread's execution resources.
+type Core struct {
+	id     int
+	socket int
+	cfg    Config
+
+	l1, l2 *cache.Cache // private
+	l3     *cache.Cache // shared within the socket
+	pf     *cache.Prefetcher
+	ctr    *perf.Counters
+	memsys MemorySystem
+	dvfs   *DVFS
+}
+
+// NewCore assembles a core. l3 is the socket-shared last-level cache; ctr is
+// the core's PMC bank; dvfs may be nil for a fixed-frequency core.
+func NewCore(id, socket int, cfg Config, l1, l2, l3 *cache.Cache, ctr *perf.Counters, memsys MemorySystem, dvfs *DVFS) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if l1 == nil || l2 == nil || l3 == nil || ctr == nil || memsys == nil {
+		return nil, fmt.Errorf("cpu: core %d: nil component", id)
+	}
+	return &Core{
+		id: id, socket: socket, cfg: cfg,
+		l1: l1, l2: l2, l3: l3,
+		pf:     cache.NewPrefetcher(cfg.PrefetchDepth),
+		ctr:    ctr,
+		memsys: memsys,
+		dvfs:   dvfs,
+	}, nil
+}
+
+// ID reports the core id.
+func (c *Core) ID() int { return c.id }
+
+// Socket reports the core's socket (== NUMA node).
+func (c *Core) Socket() int { return c.socket }
+
+// Config reports the core configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Counters exposes the core's PMC bank.
+func (c *Core) Counters() *perf.Counters { return c.ctr }
+
+// L1 exposes the private first-level cache (for tests and statistics).
+func (c *Core) L1() *cache.Cache { return c.l1 }
+
+// L2 exposes the private second-level cache.
+func (c *Core) L2() *cache.Cache { return c.l2 }
+
+// L3 exposes the socket-shared last-level cache.
+func (c *Core) L3() *cache.Cache { return c.l3 }
+
+// FreqHz reports the core's nominal frequency.
+func (c *Core) FreqHz() float64 { return c.cfg.FreqHz }
+
+// TSC reports the invariant timestamp counter at virtual time now. Like
+// rdtscp on modern x86, it advances at the nominal frequency regardless of
+// DVFS state.
+func (c *Core) TSC(now sim.Time) uint64 {
+	return uint64(sim.TimeToCycles(now, c.cfg.FreqHz))
+}
+
+// TimeForCycles converts a TSC cycle count to virtual time.
+func (c *Core) TimeForCycles(cycles int64) sim.Time {
+	return sim.CyclesToTime(cycles, c.cfg.FreqHz)
+}
+
+// ComputeTime reports how long n core cycles of computation take starting at
+// virtual time now, accounting for the current DVFS frequency.
+func (c *Core) ComputeTime(now sim.Time, cycles int64) sim.Time {
+	f := c.cfg.FreqHz
+	if c.dvfs != nil {
+		f *= c.dvfs.FactorAt(now)
+	}
+	return sim.CyclesToTime(cycles, f)
+}
+
+// effectiveFreq is the instantaneous core frequency at time now.
+func (c *Core) effectiveFreq(now sim.Time) float64 {
+	if c.dvfs == nil {
+		return c.cfg.FreqHz
+	}
+	return c.cfg.FreqHz * c.dvfs.FactorAt(now)
+}
+
+// Load performs one demand load at virtual time now and returns its latency
+// and serving source. Counter state (L3 hits/misses, stall cycles) is
+// updated as a side effect.
+func (c *Core) Load(now sim.Time, addr uintptr) (sim.Time, Source) {
+	lat, src := c.loadOne(now, addr)
+	c.recordStall(now, lat, src)
+	return lat, src
+}
+
+// LoadGroup performs len(addrs) independent demand loads issued in parallel
+// (memory-level parallelism), bounded by the core's MSHR count. It returns
+// the overlapped completion latency of the whole group. Stall cycles are
+// credited once per group — requests served in parallel with an outstanding
+// request do not add stall cycles, exactly the property of
+// CYCLE_ACTIVITY:STALLS_L2_PENDING the paper's Eq. 2 relies on.
+func (c *Core) LoadGroup(now sim.Time, addrs []uintptr) sim.Time {
+	var total sim.Time
+	start := now
+	for len(addrs) > 0 {
+		wave := addrs
+		if len(wave) > c.cfg.MSHRs {
+			wave = wave[:c.cfg.MSHRs]
+		}
+		addrs = addrs[len(wave):]
+		var waveLat, waveStall sim.Time
+		for _, a := range wave {
+			lat, src := c.loadOne(start, a)
+			if lat > waveLat {
+				waveLat = lat
+			}
+			if src >= SrcL3 && lat > waveStall {
+				waveStall = lat
+			}
+		}
+		if waveStall > 0 {
+			c.ctr.AddStallCycles(sim.TimeToCycles(waveStall, c.effectiveFreq(start)))
+		}
+		start += waveLat
+		total += waveLat
+	}
+	return total
+}
+
+// Store performs one store at virtual time now and returns its latency as
+// seen by the pipeline. Stores are posted (absorbed by the store buffer and
+// write-back caches): a miss triggers a write-allocate line fill that
+// consumes memory bandwidth, but the pipeline only pays the L1 latency and
+// no stall cycles are recorded — the property that makes pflush necessary
+// for persistent-memory write modeling (§3.1).
+func (c *Core) Store(now sim.Time, addr uintptr) sim.Time {
+	l1Lat := c.l1.Config().LookupLat
+	if hit, _ := c.l1.Lookup(addr, now, true); hit {
+		return l1Lat
+	}
+	// Write-allocate: fetch the line in the background.
+	if hit, _ := c.l2.Lookup(addr, now, false); hit {
+		c.fill(now, addr, true, now, false)
+		return l1Lat
+	}
+	if hit, _ := c.l3.Lookup(addr, now, false); hit {
+		c.fill(now, addr, true, now, false)
+		return l1Lat
+	}
+	done := c.memsys.Access(now, addr, mem.Write, c.socket)
+	c.fill(now, addr, true, done, true)
+	return l1Lat
+}
+
+// Flush writes back (if dirty) and invalidates the line holding addr from
+// the whole hierarchy, modeling clflush. The returned latency covers the
+// instruction itself; the writeback is posted and its completion time is
+// returned separately for callers that must stall on it (pflush).
+func (c *Core) Flush(now sim.Time, addr uintptr) (lat, writebackDone sim.Time) {
+	const flushCycles = 40 // clflush issue cost
+	dirty := false
+	if _, d := c.l1.Flush(addr); d {
+		dirty = true
+	}
+	if _, d := c.l2.Flush(addr); d {
+		dirty = true
+	}
+	if _, d := c.l3.Flush(addr); d {
+		dirty = true
+	}
+	lat = c.ComputeTime(now, flushCycles)
+	if dirty {
+		writebackDone = c.memsys.Access(now+lat, addr, mem.Writeback, c.socket)
+	}
+	return lat, writebackDone
+}
+
+// loadOne walks the hierarchy for a single load.
+func (c *Core) loadOne(now sim.Time, addr uintptr) (sim.Time, Source) {
+	t := now
+
+	t += c.l1.Config().LookupLat
+	if hit, wait := c.l1.Lookup(addr, t, false); hit {
+		return t + wait - now, SrcL1
+	}
+
+	t += c.l2.Config().LookupLat
+	if hit, wait := c.l2.Lookup(addr, t, false); hit {
+		t += wait
+		c.promote(now, addr, t)
+		// The L2 streamer observes requests arriving at L2 (hits and
+		// misses alike), keeping the prefetch frontier moving even when
+		// the demand stream runs entirely out of prefetched lines.
+		c.prefetch(now, addr)
+		return t - now, SrcL2
+	}
+
+	t += c.l3.Config().LookupLat
+	if hit, wait := c.l3.Lookup(addr, t, false); hit {
+		t += wait
+		// Loads served by a still-in-flight fill (typically started by
+		// another core or the prefetcher) are not clean XSNP_NONE hits —
+		// the Table 1 hit events deliberately exclude them, so their
+		// near-memory-latency stalls are not discounted by Eq. 3's
+		// hit/miss weighting.
+		if wait <= c.l3.Config().LookupLat {
+			c.ctr.CountL3Hit()
+		}
+		c.promote(now, addr, t)
+		c.prefetch(now, addr)
+		return t - now, SrcL3
+	}
+
+	// Demand miss to DRAM.
+	done := c.memsys.Access(t, addr, mem.Read, c.socket)
+	remote := c.memsys.HomeNode(addr) != c.socket
+	c.ctr.CountL3Miss(remote)
+	c.fill(t, addr, false, done, true)
+	c.prefetch(now, addr)
+	src := SrcMemLocal
+	if remote {
+		src = SrcMemRemote
+	}
+	return done - now, src
+}
+
+// recordStall credits stall cycles for a single load served beyond L2.
+func (c *Core) recordStall(now sim.Time, lat sim.Time, src Source) {
+	if src >= SrcL3 {
+		c.ctr.AddStallCycles(sim.TimeToCycles(lat, c.effectiveFreq(now)))
+	}
+}
+
+// promote installs a line into the levels above its serving level.
+func (c *Core) promote(now sim.Time, addr uintptr, arrival sim.Time) {
+	c.insertWithWriteback(now, c.l1, addr, false, arrival)
+	c.insertWithWriteback(now, c.l2, addr, false, arrival)
+}
+
+// fill installs a line into the whole hierarchy after a memory access.
+// intoL3 is false when the line came from L3 itself.
+func (c *Core) fill(now sim.Time, addr uintptr, dirty bool, arrival sim.Time, intoL3 bool) {
+	if intoL3 {
+		c.insertWithWriteback(now, c.l3, addr, false, arrival)
+	}
+	c.insertWithWriteback(now, c.l2, addr, false, arrival)
+	c.insertWithWriteback(now, c.l1, addr, dirty, arrival)
+}
+
+// insertWithWriteback inserts a line and posts a writeback for any dirty
+// victim. The writeback occupies a channel slot at the current walk time —
+// not at the incoming line's (possibly future) arrival — so that a posted
+// future request cannot block earlier traffic on the single-slot channel
+// reservation model.
+func (c *Core) insertWithWriteback(now sim.Time, level *cache.Cache, addr uintptr, dirty bool, arrival sim.Time) {
+	if ev, evicted := level.Insert(addr, dirty, arrival); evicted && ev.Dirty {
+		c.memsys.Access(now, ev.Addr, mem.Writeback, c.socket)
+	}
+}
+
+// prefetch feeds the stream detector and issues proposed fills into L3 (and
+// L2) with future arrival times.
+func (c *Core) prefetch(now sim.Time, addr uintptr) {
+	if c.pf.Depth() == 0 {
+		return
+	}
+	lineSize := uintptr(c.cfg.LineSize)
+	for _, line := range c.pf.Observe(addr / lineSize) {
+		pAddr := line * lineSize
+		if c.l3.Contains(pAddr) || c.l2.Contains(pAddr) {
+			continue
+		}
+		arrival := c.memsys.Access(now, pAddr, mem.Prefetch, c.socket)
+		c.insertWithWriteback(now, c.l3, pAddr, false, arrival)
+		c.insertWithWriteback(now, c.l2, pAddr, false, arrival)
+	}
+}

@@ -1,0 +1,52 @@
+package cpu
+
+import (
+	"github.com/quartz-emu/quartz/internal/sim"
+)
+
+// DVFS models dynamic voltage and frequency scaling. When enabled, the core
+// frequency oscillates deterministically between the nominal frequency and
+// LowFactor of it, with the given half-period. The paper (§6) disables DVFS
+// on the testbeds because a varying frequency breaks the fixed relationship
+// between cycles and nanoseconds that the delay-injection model needs;
+// Quartz refuses to attach while DVFS is enabled, and a dedicated test shows
+// the accuracy loss when that check is bypassed.
+type DVFS struct {
+	enabled    bool
+	lowFactor  float64
+	halfPeriod sim.Time
+}
+
+// NewDVFS builds a governor oscillating between full frequency and
+// lowFactor (0 < lowFactor <= 1) every halfPeriod. It starts disabled.
+func NewDVFS(lowFactor float64, halfPeriod sim.Time) *DVFS {
+	if lowFactor <= 0 || lowFactor > 1 {
+		lowFactor = 1
+	}
+	if halfPeriod <= 0 {
+		halfPeriod = 100 * sim.Microsecond
+	}
+	return &DVFS{lowFactor: lowFactor, halfPeriod: halfPeriod}
+}
+
+// SetEnabled turns frequency scaling on or off (BIOS/governor switch).
+func (d *DVFS) SetEnabled(on bool) {
+	if d == nil {
+		return
+	}
+	d.enabled = on
+}
+
+// Enabled reports whether frequency scaling is active.
+func (d *DVFS) Enabled() bool { return d != nil && d.enabled }
+
+// FactorAt reports the frequency multiplier in effect at virtual time t.
+func (d *DVFS) FactorAt(t sim.Time) float64 {
+	if d == nil || !d.enabled {
+		return 1
+	}
+	if (t/d.halfPeriod)%2 == 0 {
+		return 1
+	}
+	return d.lowFactor
+}

@@ -1,0 +1,128 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4) on the simulated substrate: each function runs the
+// corresponding workload sweep and returns a text table with the same rows
+// or series the paper reports. cmd/quartzbench renders them; the root-level
+// benchmarks wrap them for `go test -bench`.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scale sizes the sweeps. Quick keeps every experiment in seconds for tests
+// and CI; Full is the EXPERIMENTS.md configuration.
+type Scale struct {
+	// Trials is the number of repetitions per data point (the paper uses
+	// 20 for microbenchmarks, 10 for applications).
+	Trials int
+	// Lines sizes pointer-chase working sets (cache lines).
+	Lines int
+	// MemLatIters is the chase length per trial.
+	MemLatIters int
+	// MTSections is the per-thread critical-section count of the
+	// Multi-Threaded benchmark.
+	MTSections int
+	// MultiLatLines sizes each MultiLat array (scaled from the paper's
+	// 10M/20M elements).
+	MultiLatLines int
+	// StreamLines sizes the STREAM arrays.
+	StreamLines int
+	// KVOps is the per-thread operation count of the key-value workload.
+	KVOps int
+	// KVPreload is the key count preloaded into the store.
+	KVPreload int
+	// PRVertices / PREdgesPerVertex size the PageRank graph.
+	PRVertices, PREdgesPerVertex int
+	// PRIters bounds PageRank iterations.
+	PRIters int
+	// Sparse trims sweep grids (fewer latency points / patterns) for
+	// quick runs; Full uses the paper's complete grids.
+	Sparse bool
+}
+
+// Quick is the test/CI scale.
+var Quick = Scale{
+	Sparse:           true,
+	Trials:           2,
+	Lines:            1 << 19,
+	MemLatIters:      25_000,
+	MTSections:       200,
+	MultiLatLines:    30_000,
+	StreamLines:      1 << 16,
+	KVOps:            2_500,
+	KVPreload:        8_000,
+	PRVertices:       20_000,
+	PREdgesPerVertex: 6,
+	PRIters:          6,
+}
+
+// Full is the EXPERIMENTS.md scale.
+var Full = Scale{
+	Trials:           5,
+	Lines:            1 << 20,
+	MemLatIters:      120_000,
+	MTSections:       1_000,
+	MultiLatLines:    120_000,
+	StreamLines:      1 << 17,
+	KVOps:            4_000,
+	KVPreload:        8_000,
+	PRVertices:       50_000,
+	PREdgesPerVertex: 8,
+	PRIters:          10,
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string // e.g. "fig11"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table as aligned text.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// cell formats helpers.
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }

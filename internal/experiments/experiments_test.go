@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny keeps structural tests fast; accuracy itself is covered by the bench
+// and core test suites, and by the full-scale quartzbench runs recorded in
+// EXPERIMENTS.md.
+var tiny = Scale{
+	Sparse:           true,
+	Trials:           1,
+	Lines:            1 << 17,
+	MemLatIters:      4_000,
+	MTSections:       40,
+	MultiLatLines:    6_000,
+	StreamLines:      1 << 14,
+	KVOps:            200,
+	KVPreload:        400,
+	PRVertices:       500,
+	PREdgesPerVertex: 4,
+	PRIters:          3,
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every artifact promised in DESIGN.md's experiment index must be
+	// runnable.
+	want := []string{
+		"table1", "table2", "fig8", "fig11", "fig12", "fig13", "fig14",
+		"fig15", "fig16", "pagerank-validate", "overhead", "epoch-size",
+		"model-ablation", "pcommit", "amortization", "graph500-validate", "ext-asym-bw",
+	}
+	have := map[string]bool{}
+	for _, id := range All() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", tiny); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	tab := Table1()
+	if len(tab.Rows) != 11 { // 3 events Sandy + 4 Ivy + 4 Haswell
+		t.Errorf("Table 1 has %d rows, want 11", len(tab.Rows))
+	}
+	rendered := tab.Render()
+	for _, mnemonic := range []string{
+		"CYCLE_ACTIVITY:STALLS_L2_PENDING",
+		"MEM_LOAD_UOPS_MISC_RETIRED:LLC_MISS",
+		"MEM_LOAD_UOPS_L3_MISS_RETIRED:REMOTE_DRAM",
+	} {
+		if !strings.Contains(rendered, mnemonic) {
+			t.Errorf("Table 1 render missing %q", mnemonic)
+		}
+	}
+}
+
+func TestTable2ShapeAndOrdering(t *testing.T) {
+	tab, err := Table2(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("Table 2 rows = %d, want 3 families", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		local, err1 := strconv.ParseFloat(row[2], 64)
+		remote, err2 := strconv.ParseFloat(row[5], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparseable row %v", row)
+		}
+		if remote <= local {
+			t.Errorf("%s: remote %.1f not above local %.1f", row[0], remote, local)
+		}
+	}
+}
+
+func TestFig8MonotoneThenSaturating(t *testing.T) {
+	tab, err := Fig8(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bws []float64
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bws = append(bws, v)
+	}
+	for i := 1; i < len(bws); i++ {
+		if bws[i] < bws[i-1]*0.95 {
+			t.Errorf("bandwidth decreased at register step %d: %.2f -> %.2f", i, bws[i-1], bws[i])
+		}
+	}
+	// Low registers are in the linear region: the second point roughly
+	// doubles the first.
+	if ratio := bws[1] / bws[0]; ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("linear-region doubling ratio = %.2f, want ~2", ratio)
+	}
+	// Saturation: the last two points are close.
+	n := len(bws)
+	if diff := (bws[n-1] - bws[n-2]) / bws[n-2]; diff > 0.1 {
+		t.Errorf("no saturation at the top of the register range (%.1f%% growth)", diff*100)
+	}
+}
+
+func TestFig12TracksTargets(t *testing.T) {
+	s := tiny
+	tab, err := Fig12(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3*len(fig12Targets) {
+		t.Fatalf("Fig 12 rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		target, _ := strconv.ParseFloat(row[1], 64)
+		measured, _ := strconv.ParseFloat(row[2], 64)
+		if rel := (measured - target) / target; rel > 0.25 || rel < -0.25 {
+			t.Errorf("%s target %.0f measured %.0f: way off even for tiny scale", row[0], target, measured)
+		}
+	}
+}
+
+func TestOverheadTable(t *testing.T) {
+	tab, err := Overhead(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := tab.Render()
+	if !strings.Contains(rendered, "5500000000 cycles") {
+		t.Errorf("overhead table missing init cycles: %s", rendered)
+	}
+	if !strings.Contains(rendered, "300000 cycles") {
+		t.Errorf("overhead table missing registration cycles: %s", rendered)
+	}
+}
+
+func TestPCommitAblationSpeedsUp(t *testing.T) {
+	s := tiny
+	s.KVOps = 60
+	tab, err := PCommitAblation(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		speedup, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fields, _ := strconv.Atoi(row[0])
+		if fields >= 4 && speedup < 1.5 {
+			t.Errorf("%s fields: pcommit speedup %.2f, want >1.5", row[0], speedup)
+		}
+	}
+}
+
+func TestRenderAligned(t *testing.T) {
+	tab := Table{
+		ID:     "x",
+		Title:  "t",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"n"},
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "== x: t ==") || !strings.Contains(out, "note: n") {
+		t.Errorf("render = %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Errorf("render has %d lines, want 6", len(lines))
+	}
+}
+
+// TestAllExperimentsRunAtTinyScale executes every registered experiment at
+// tiny scale: each must produce at least one row and no error. Accuracy at
+// realistic sizes is covered by the bench/core suites and the full-scale
+// quartzbench runs in EXPERIMENTS.md.
+func TestAllExperimentsRunAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the complete experiment registry")
+	}
+	for _, id := range All() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tab, err := Run(id, tiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Error("no rows produced")
+			}
+			if tab.ID != id {
+				t.Errorf("table id = %q, want %q", tab.ID, id)
+			}
+			if out := tab.Render(); len(out) == 0 {
+				t.Error("empty render")
+			}
+		})
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one paper artifact at the given scale.
+type Runner func(Scale) (Table, error)
+
+// registry maps experiment ids (table/figure numbers) to runners.
+var registry = map[string]Runner{
+	"table1":            func(Scale) (Table, error) { return Table1(), nil },
+	"table2":            Table2,
+	"fig8":              Fig8,
+	"fig11":             Fig11,
+	"fig12":             Fig12,
+	"fig13":             Fig13,
+	"fig14":             Fig14,
+	"fig15":             Fig15,
+	"fig16":             Fig16,
+	"pagerank-validate": PageRankValidation,
+	"overhead":          Overhead,
+	"epoch-size":        EpochSize,
+	"model-ablation":    ModelAblation,
+	"pcommit":           PCommitAblation,
+	"amortization":      AmortizationAblation,
+	"graph500-validate": Graph500Validation,
+	"ext-asym-bw":       AsymmetricBandwidth,
+}
+
+// All lists experiment ids in stable order.
+func All() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run regenerates experiment id at scale s.
+func Run(id string, s Scale) (Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return Table{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, All())
+	}
+	return r(s)
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"strconv"
+
+	"github.com/quartz-emu/quartz/internal/bench"
+	"github.com/quartz-emu/quartz/internal/machine"
+	"github.com/quartz-emu/quartz/internal/perf"
+	"github.com/quartz-emu/quartz/internal/sim"
+	"github.com/quartz-emu/quartz/internal/simos"
+	"github.com/quartz-emu/quartz/internal/stats"
+)
+
+// Table1 reproduces the paper's Table 1: the performance events Quartz
+// programs per processor family.
+func Table1() Table {
+	t := Table{
+		ID:     "table1",
+		Title:  "Performance events per processor family (Table 1)",
+		Header: []string{"Family", "Model input", "Hardware event"},
+	}
+	for _, f := range []perf.Family{perf.SandyBridge, perf.IvyBridge, perf.Haswell} {
+		for _, e := range perf.EventsFor(f) {
+			name, _ := perf.EventName(f, e)
+			t.Rows = append(t.Rows, []string{f.String(), e.String(), name})
+		}
+	}
+	return t
+}
+
+// Table2 reproduces Table 2: measured local and remote DRAM access
+// latencies per testbed, via single-chain MemLat (the Intel MLC
+// methodology).
+func Table2(s Scale) (Table, error) {
+	t := Table{
+		ID:     "table2",
+		Title:  "Measured memory access latencies, ns (Table 2)",
+		Header: []string{"Processor family", "Min local", "Aver local", "Max local", "Min remote", "Aver remote", "Max remote"},
+	}
+	for _, pr := range presetRows() {
+		measure := func(mode bench.Mode) (stats.Summary, error) {
+			var lats []sim.Time
+			for trial := 0; trial < s.Trials; trial++ {
+				res, err := runMemLat(
+					bench.EnvConfig{Preset: pr.preset, Mode: mode},
+					bench.MemLatConfig{Lines: s.Lines, Chains: 1, Iters: s.MemLatIters, Seed: int64(100 + trial)},
+				)
+				if err != nil {
+					return stats.Summary{}, trialErr("table2", trial, err)
+				}
+				lats = append(lats, res.PerIteration)
+			}
+			return stats.Summarize(nanos(lats)), nil
+		}
+		local, err := measure(bench.Native)
+		if err != nil {
+			return Table{}, err
+		}
+		remote, err := measure(bench.PhysicalRemote)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			pr.label,
+			f1(local.Min), f1(local.Mean), f1(local.Max),
+			f1(remote.Min), f1(remote.Mean), f1(remote.Max),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper: Sandy 97/163, Ivy 87/176, Haswell 120/175 (avg local/remote)")
+	return t, nil
+}
+
+// Fig8 reproduces Figure 8: STREAM copy bandwidth versus the thermal
+// throttle register value on the Sandy Bridge testbed — linear until the
+// attainable maximum.
+func Fig8(s Scale) (Table, error) {
+	t := Table{
+		ID:     "fig8",
+		Title:  "STREAM copy bandwidth vs thermal-control register (Fig. 8, Sandy Bridge)",
+		Header: []string{"Register", "Copy GB/s"},
+	}
+	for _, reg := range []uint16{64, 128, 256, 512, 1024, 1536, 2048, 3072, 4095} {
+		var bws []float64
+		for trial := 0; trial < s.Trials; trial++ {
+			env, err := bench.NewEnv(bench.EnvConfig{
+				Preset: machine.XeonE5_2450, Mode: bench.Native,
+				Lookahead: 5 * sim.Microsecond,
+			})
+			if err != nil {
+				return Table{}, trialErr("fig8", trial, err)
+			}
+			for _, sock := range env.Mach.Sockets() {
+				if err := sock.Ctrl.SetThrottle(reg); err != nil {
+					return Table{}, trialErr("fig8", trial, err)
+				}
+			}
+			var res bench.StreamResult
+			err = env.Run(func(e *bench.Env, th *simos.Thread) {
+				var rerr error
+				res, rerr = bench.RunStream(e, th, bench.StreamConfig{
+					Lines: s.StreamLines, Threads: 4, Node: 0,
+				})
+				if rerr != nil {
+					th.Failf("%v", rerr)
+				}
+			})
+			if err != nil {
+				return Table{}, trialErr("fig8", trial, err)
+			}
+			bws = append(bws, res.BytesPerSec/1e9)
+		}
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(int(reg)), f2(stats.Summarize(bws).Mean),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"linear growth until the attainable maximum, then flat (paper Fig. 8)")
+	return t, nil
+}

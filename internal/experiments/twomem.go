@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/quartz-emu/quartz/internal/bench"
+	"github.com/quartz-emu/quartz/internal/machine"
+	"github.com/quartz-emu/quartz/internal/sim"
+	"github.com/quartz-emu/quartz/internal/stats"
+)
+
+// fig14Patterns are the MultiLat access patterns, scaled from the paper's
+// Pattern-1..4 (200k:100k down to 200:100) to the simulated array sizes.
+var fig14Patterns = []struct {
+	name string
+	dram int
+	nvm  int
+}{
+	{"P1", 20000, 10000},
+	{"P2", 2000, 1000},
+	{"P3", 200, 100},
+	{"P4", 20, 10},
+}
+
+// Fig14 reproduces Figure 14: MultiLat emulation error under the two-memory
+// (DRAM+NVM) virtual topology for two array configurations and four access
+// patterns across emulated NVM latencies, on Ivy Bridge and Haswell (the
+// families with local/remote miss counters).
+func Fig14(s Scale) (Table, error) {
+	t := Table{
+		ID:     "fig14",
+		Title:  "MultiLat error with DRAM+NVM virtual topology (Fig. 14)",
+		Header: []string{"Family", "Config", "Pattern", "NVM ns", "CT ms", "Expected ms", "Error"},
+	}
+	lats := []float64{200, 300, 400, 500, 600, 700}
+	patterns := fig14Patterns
+	if s.Sparse {
+		lats = []float64{300, 600}
+		patterns = patterns[1:3]
+	}
+	families := []presetRow{
+		{machine.XeonE5_2660v2, "Ivy Bridge"},
+		{machine.XeonE5_2650v3, "Haswell"},
+	}
+	configs := []struct {
+		name string
+		mul  int
+	}{
+		{"10M:10M", 1},
+		{"20M:10M", 2},
+	}
+	for _, pr := range families {
+		for _, cfgRow := range configs {
+			for _, pat := range patterns {
+				for _, nvmNS := range lats {
+					var cts, exps []sim.Time
+					for trial := 0; trial < s.Trials; trial++ {
+						q := quartzConfig(nvmNS)
+						q.TwoMemory = true
+						env, err := bench.NewEnv(bench.EnvConfig{
+							Preset: pr.preset, Mode: bench.Emulated, Quartz: q,
+						})
+						if err != nil {
+							return Table{}, trialErr("fig14", trial, err)
+						}
+						ml, err := bench.BuildMultiLat(env.Proc, env.Emu, bench.MultiLatConfig{
+							DRAMLines: s.MultiLatLines * cfgRow.mul,
+							NVMLines:  s.MultiLatLines,
+							DRAMBurst: pat.dram, NVMBurst: pat.nvm,
+							Seed: int64(trial*7 + 1),
+						})
+						if err != nil {
+							return Table{}, trialErr("fig14", trial, err)
+						}
+						var res bench.MultiLatResult
+						if err := env.Run(func(e *bench.Env, th *simosThread) {
+							start := th.Now()
+							r := ml.Run(th, machine.PresetConfig(pr.preset).LocalLat, sim.FromNanos(nvmNS))
+							e.CloseEpoch(th)
+							r.CT = th.Now() - start
+							res = r
+						}); err != nil {
+							return Table{}, trialErr("fig14", trial, err)
+						}
+						cts = append(cts, res.CT)
+						exps = append(exps, res.ExpectedCT)
+					}
+					ct := stats.Summarize(nanos(cts)).Mean
+					exp := stats.Summarize(nanos(exps)).Mean
+					t.Rows = append(t.Rows, []string{
+						pr.label, cfgRow.name, fmt.Sprintf("%s(%d:%d)", pat.name, pat.dram, pat.nvm),
+						f1(nvmNS), f2(ct / 1e6), f2(exp / 1e6), pct(stats.RelErr(ct, exp)),
+					})
+				}
+			}
+		}
+	}
+	t.Notes = append(t.Notes, "paper: average errors below 1.2% for all patterns and configurations")
+	return t, nil
+}

@@ -1,0 +1,112 @@
+// Package interpose implements the LD_PRELOAD-equivalent hook layer. The
+// real Quartz exploits the fact that pthread functions are weak symbols: a
+// preloaded library defines same-name functions that intercept calls, do
+// emulator bookkeeping, and redirect to the original implementation (§3.1).
+// Here the same structure is expressed by wrapping entries of a process's
+// function table before the process runs.
+package interpose
+
+import (
+	"errors"
+
+	"github.com/quartz-emu/quartz/internal/simos"
+)
+
+// Hooks are the callbacks an emulator installs.
+type Hooks struct {
+	// ThreadStarted runs in the context of every newly created thread
+	// before its body — the "new threads call back into the library and
+	// register themselves with the monitor" step (Fig. 5, step 1).
+	ThreadStarted func(t *simos.Thread)
+	// BeforeMutexLock runs before a lock acquisition is attempted: §2.3
+	// closes epochs when a thread enters a critical section, so delay
+	// accrued *outside* the section is injected before contending and is
+	// never serialized under the lock.
+	BeforeMutexLock func(t *simos.Thread, m *simos.Mutex)
+	// BeforeMutexUnlock runs before the lock release becomes visible to
+	// waiters — where accumulated critical-section delay must be injected
+	// so it propagates to contenders (Fig. 4b).
+	BeforeMutexUnlock func(t *simos.Thread, m *simos.Mutex)
+	// BeforeCondSignal runs before a condition-variable signal.
+	BeforeCondSignal func(t *simos.Thread, c *simos.Cond)
+	// BeforeCondBroadcast runs before a condition-variable broadcast.
+	BeforeCondBroadcast func(t *simos.Thread, c *simos.Cond)
+	// BeforeRWLock runs before a reader-writer lock acquisition (shared or
+	// exclusive), the enter-side epoch point.
+	BeforeRWLock func(t *simos.Thread, m *simos.RWMutex)
+	// BeforeRWUnlock runs before a reader-writer lock release becomes
+	// visible to waiters.
+	BeforeRWUnlock func(t *simos.Thread, m *simos.RWMutex)
+	// BeforeBarrierWait runs before an OpenMP-style barrier rendezvous —
+	// the arriving thread's accumulated delay must be injected before its
+	// arrival becomes visible (§7 lists such constructs as future work;
+	// this reproduction implements them).
+	BeforeBarrierWait func(t *simos.Thread, b *simos.Barrier)
+}
+
+// Install wraps the process function table with the hooks and returns a
+// restore function that reinstates the previous table (dlclose-equivalent).
+func Install(p *simos.Process, h Hooks) (restore func(), err error) {
+	if p == nil {
+		return nil, errors.New("interpose: nil process")
+	}
+	tbl := p.Table()
+	orig := *tbl
+
+	if h.ThreadStarted != nil {
+		tbl.ThreadCreate = func(parent *simos.Thread, name string, fn simos.ThreadFunc, socket int) (*simos.Thread, error) {
+			wrapped := func(t *simos.Thread) {
+				h.ThreadStarted(t)
+				fn(t)
+			}
+			return orig.ThreadCreate(parent, name, wrapped, socket)
+		}
+	}
+	if h.BeforeMutexLock != nil {
+		tbl.MutexLock = func(t *simos.Thread, m *simos.Mutex) {
+			h.BeforeMutexLock(t, m)
+			orig.MutexLock(t, m)
+		}
+	}
+	if h.BeforeMutexUnlock != nil {
+		tbl.MutexUnlock = func(t *simos.Thread, m *simos.Mutex) {
+			h.BeforeMutexUnlock(t, m)
+			orig.MutexUnlock(t, m)
+		}
+	}
+	if h.BeforeCondSignal != nil {
+		tbl.CondSignal = func(t *simos.Thread, c *simos.Cond) {
+			h.BeforeCondSignal(t, c)
+			orig.CondSignal(t, c)
+		}
+	}
+	if h.BeforeCondBroadcast != nil {
+		tbl.CondBroadcast = func(t *simos.Thread, c *simos.Cond) {
+			h.BeforeCondBroadcast(t, c)
+			orig.CondBroadcast(t, c)
+		}
+	}
+	if h.BeforeRWLock != nil {
+		tbl.RWLockShared = func(t *simos.Thread, m *simos.RWMutex) {
+			h.BeforeRWLock(t, m)
+			orig.RWLockShared(t, m)
+		}
+		tbl.RWLockExclusive = func(t *simos.Thread, m *simos.RWMutex) {
+			h.BeforeRWLock(t, m)
+			orig.RWLockExclusive(t, m)
+		}
+	}
+	if h.BeforeRWUnlock != nil {
+		tbl.RWUnlock = func(t *simos.Thread, m *simos.RWMutex) {
+			h.BeforeRWUnlock(t, m)
+			orig.RWUnlock(t, m)
+		}
+	}
+	if h.BeforeBarrierWait != nil {
+		tbl.BarrierWait = func(t *simos.Thread, b *simos.Barrier) {
+			h.BeforeBarrierWait(t, b)
+			orig.BarrierWait(t, b)
+		}
+	}
+	return func() { *tbl = orig }, nil
+}

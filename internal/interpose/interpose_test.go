@@ -1,0 +1,168 @@
+package interpose
+
+import (
+	"testing"
+
+	"github.com/quartz-emu/quartz/internal/machine"
+	"github.com/quartz-emu/quartz/internal/simos"
+)
+
+func newProc(t *testing.T) *simos.Process {
+	t.Helper()
+	m, err := machine.NewPreset(machine.XeonE5_2450)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := simos.NewProcess(m, simos.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestInstallValidation(t *testing.T) {
+	if _, err := Install(nil, Hooks{}); err == nil {
+		t.Error("Install(nil) succeeded")
+	}
+}
+
+func TestAllHooksFire(t *testing.T) {
+	p := newProc(t)
+	var started, unlocks, signals, broadcasts, barriers int
+	restore, err := Install(p, Hooks{
+		ThreadStarted:       func(*simos.Thread) { started++ },
+		BeforeMutexUnlock:   func(*simos.Thread, *simos.Mutex) { unlocks++ },
+		BeforeCondSignal:    func(*simos.Thread, *simos.Cond) { signals++ },
+		BeforeCondBroadcast: func(*simos.Thread, *simos.Cond) { broadcasts++ },
+		BeforeBarrierWait:   func(*simos.Thread, *simos.Barrier) { barriers++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restore()
+
+	mu := p.NewMutex("m")
+	cv := p.NewCond("c")
+	bar, err := p.NewBarrier("b", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.Run(func(th *simos.Thread) {
+		w, err := th.CreateThread("w", func(t2 *simos.Thread) {
+			mu.Lock(t2)
+			cv.Wait(t2, mu) // releases through the interposed unlock
+			mu.Unlock(t2)
+			bar.Wait(t2)
+		})
+		if err != nil {
+			th.Failf("create: %v", err)
+		}
+		th.ComputeFor(1_000_000_000) // let the worker reach the wait
+		mu.Lock(th)
+		cv.Signal(th)
+		mu.Unlock(th)
+		mu.Lock(th)
+		cv.Broadcast(th)
+		mu.Unlock(th)
+		bar.Wait(th)
+		th.Join(w)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if started != 1 {
+		t.Errorf("ThreadStarted fired %d times, want 1", started)
+	}
+	// Unlocks: worker cond-wait release + worker unlock + 2 main unlocks.
+	if unlocks != 4 {
+		t.Errorf("BeforeMutexUnlock fired %d times, want 4", unlocks)
+	}
+	if signals != 1 || broadcasts != 1 {
+		t.Errorf("cond hooks fired %d/%d, want 1/1", signals, broadcasts)
+	}
+	if barriers != 2 {
+		t.Errorf("BeforeBarrierWait fired %d times, want 2", barriers)
+	}
+}
+
+func TestRestoreReinstatesOriginals(t *testing.T) {
+	p := newProc(t)
+	var count int
+	restore, err := Install(p, Hooks{
+		BeforeMutexUnlock: func(*simos.Thread, *simos.Mutex) { count++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore()
+	mu := p.NewMutex("m")
+	if err := p.Run(func(th *simos.Thread) {
+		mu.Lock(th)
+		mu.Unlock(th)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Errorf("hook fired %d times after restore", count)
+	}
+}
+
+func TestNilHooksLeaveTableUntouched(t *testing.T) {
+	p := newProc(t)
+	before := *p.Table()
+	restore, err := Install(p, Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restore()
+	// With no hooks requested, the original functions must still run; the
+	// process should behave identically.
+	mu := p.NewMutex("m")
+	if err := p.Run(func(th *simos.Thread) {
+		mu.Lock(th)
+		mu.Unlock(th)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = before
+}
+
+func TestThreadStartedWrapsBody(t *testing.T) {
+	// The hook must run in the new thread's context, before its body.
+	p := newProc(t)
+	var hookTID, bodyFirst int
+	restore, err := Install(p, Hooks{
+		ThreadStarted: func(t2 *simos.Thread) {
+			hookTID = t2.TID()
+			if bodyFirst == 0 {
+				bodyFirst = -1 // hook ran first
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restore()
+	var workerTID int
+	err = p.Run(func(th *simos.Thread) {
+		w, err := th.CreateThread("w", func(t2 *simos.Thread) {
+			workerTID = t2.TID()
+			if bodyFirst == 0 {
+				bodyFirst = 1 // body ran first: wrong
+			}
+		})
+		if err != nil {
+			th.Failf("create: %v", err)
+		}
+		th.Join(w)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hookTID != workerTID {
+		t.Errorf("hook ran on thread %d, body on %d", hookTID, workerTID)
+	}
+	if bodyFirst != -1 {
+		t.Error("ThreadStarted did not run before the thread body")
+	}
+}

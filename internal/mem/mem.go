@@ -1,0 +1,259 @@
+// Package mem models NUMA memory: per-socket integrated memory controllers
+// with multiple DRAM channels, token-bucket bandwidth accounting, and the
+// DRAM thermal-control throttle registers (THRT_PWR_DIMM_[0:2] on Intel Xeon
+// parts) that Quartz programs to emulate NVM bandwidth.
+//
+// Throttling follows the paper's Figure 8: available bandwidth grows
+// linearly with the 12-bit register value until the hardware maximum is
+// reached, after which larger values have no further effect.
+package mem
+
+import (
+	"fmt"
+
+	"github.com/quartz-emu/quartz/internal/sim"
+)
+
+// AccessKind distinguishes the traffic classes a controller serves.
+type AccessKind int
+
+// Traffic classes.
+const (
+	Read      AccessKind = iota + 1 // demand load miss
+	Write                           // demand store miss (line fill for write-allocate)
+	Writeback                       // dirty line eviction; posted
+	Prefetch                        // hardware prefetch fill; posted
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Writeback:
+		return "writeback"
+	case Prefetch:
+		return "prefetch"
+	default:
+		return fmt.Sprintf("AccessKind(%d)", int(k))
+	}
+}
+
+// RegisterMax is the largest programmable throttle value (12-bit register).
+const RegisterMax = 4095
+
+// Config describes one integrated memory controller.
+type Config struct {
+	// Channels is the number of independent DRAM channels.
+	Channels int
+	// ChannelBandwidth is the peak bandwidth of one channel in bytes per
+	// second at full throttle.
+	ChannelBandwidth float64
+	// LineSize is the transfer granularity in bytes (a cache line).
+	LineSize int
+	// ThrottleFullScale is the register value at which the linear throttle
+	// ramp reaches peak bandwidth. Values above it saturate (Fig. 8).
+	ThrottleFullScale uint16
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Channels <= 0 {
+		return fmt.Errorf("mem: Channels = %d, must be positive", c.Channels)
+	}
+	if c.ChannelBandwidth <= 0 {
+		return fmt.Errorf("mem: ChannelBandwidth = %g, must be positive", c.ChannelBandwidth)
+	}
+	if c.LineSize <= 0 {
+		return fmt.Errorf("mem: LineSize = %d, must be positive", c.LineSize)
+	}
+	if c.ThrottleFullScale == 0 || c.ThrottleFullScale > RegisterMax {
+		return fmt.Errorf("mem: ThrottleFullScale = %d, must be in [1,%d]", c.ThrottleFullScale, RegisterMax)
+	}
+	return nil
+}
+
+// Stats aggregates controller traffic.
+type Stats struct {
+	Reads        int64
+	Writes       int64
+	Writebacks   int64
+	Prefetches   int64
+	BytesRead    int64
+	BytesWritten int64
+	// QueueTime is the total virtual time requests spent waiting for a
+	// free channel slot.
+	QueueTime sim.Time
+}
+
+// Controller is one socket's integrated memory controller. Read and write
+// traffic have separate throttle registers: the paper (§2.1) describes the
+// separate read/write thermal-control registers of the Intel datasheets —
+// which would let an emulator model NVM's read/write bandwidth asymmetry —
+// but found them non-functional on its testbeds. The simulated controller
+// implements them as specified.
+type Controller struct {
+	node          int
+	cfg           Config
+	throttleRead  uint16
+	throttleWrite uint16
+	nextFree      []sim.Time
+	stats         Stats
+}
+
+// NewController builds a controller for NUMA node with the given config.
+// The throttle registers start at their maximum (no throttling).
+func NewController(node int, cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{
+		node:          node,
+		cfg:           cfg,
+		throttleRead:  RegisterMax,
+		throttleWrite: RegisterMax,
+		nextFree:      make([]sim.Time, cfg.Channels),
+	}, nil
+}
+
+// Node reports the controller's NUMA node id.
+func (c *Controller) Node() int { return c.node }
+
+// Config reports the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Stats returns a copy of the accumulated traffic statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the traffic statistics.
+func (c *Controller) ResetStats() { c.stats = Stats{} }
+
+// SetThrottle programs both thermal-control registers to the same value.
+// Values above RegisterMax are rejected; this mirrors writing a 12-bit PCI
+// register.
+func (c *Controller) SetThrottle(v uint16) error {
+	if err := c.SetReadThrottle(v); err != nil {
+		return err
+	}
+	return c.SetWriteThrottle(v)
+}
+
+// SetReadThrottle programs the read-path thermal-control register.
+func (c *Controller) SetReadThrottle(v uint16) error {
+	if v > RegisterMax {
+		return fmt.Errorf("mem: read throttle value %d exceeds 12-bit register (max %d)", v, RegisterMax)
+	}
+	c.throttleRead = v
+	return nil
+}
+
+// SetWriteThrottle programs the write-path thermal-control register.
+func (c *Controller) SetWriteThrottle(v uint16) error {
+	if v > RegisterMax {
+		return fmt.Errorf("mem: write throttle value %d exceeds 12-bit register (max %d)", v, RegisterMax)
+	}
+	c.throttleWrite = v
+	return nil
+}
+
+// Throttle reports the read-path thermal-control register value (the knob
+// the symmetric SetThrottle programs).
+func (c *Controller) Throttle() uint16 { return c.throttleRead }
+
+// WriteThrottle reports the write-path thermal-control register value.
+func (c *Controller) WriteThrottle() uint16 { return c.throttleWrite }
+
+// bandwidthFor converts a throttle register value to one channel's
+// effective bandwidth: linear up to ThrottleFullScale, then flat (Fig. 8).
+func (c *Controller) bandwidthFor(reg uint16) float64 {
+	if reg == 0 {
+		reg = 1 // a zero register would stall the memory system entirely
+	}
+	frac := float64(reg) / float64(c.cfg.ThrottleFullScale)
+	if frac > 1 {
+		frac = 1
+	}
+	return c.cfg.ChannelBandwidth * frac
+}
+
+// ChannelBandwidth reports one channel's effective read bandwidth in bytes
+// per second under the current throttle setting.
+func (c *Controller) ChannelBandwidth() float64 {
+	return c.bandwidthFor(c.throttleRead)
+}
+
+// ChannelWriteBandwidth reports one channel's effective write bandwidth.
+func (c *Controller) ChannelWriteBandwidth() float64 {
+	return c.bandwidthFor(c.throttleWrite)
+}
+
+// isWrite classifies traffic onto the write-throttle path.
+func (k AccessKind) isWrite() bool { return k == Writeback }
+
+// PeakBandwidth reports the controller's total unthrottled bandwidth in
+// bytes per second.
+func (c *Controller) PeakBandwidth() float64 {
+	return c.cfg.ChannelBandwidth * float64(c.cfg.Channels)
+}
+
+// EffectiveBandwidth reports the controller's total bandwidth under the
+// current throttle setting in bytes per second.
+func (c *Controller) EffectiveBandwidth() float64 {
+	return c.ChannelBandwidth() * float64(c.cfg.Channels)
+}
+
+// RegisterForBandwidth computes the throttle register value that caps total
+// controller bandwidth closest to target (bytes per second).
+func (c *Controller) RegisterForBandwidth(target float64) uint16 {
+	peak := c.PeakBandwidth()
+	if target >= peak {
+		return RegisterMax
+	}
+	if target <= 0 {
+		return 1
+	}
+	reg := target / peak * float64(c.cfg.ThrottleFullScale)
+	if reg < 1 {
+		reg = 1
+	}
+	return uint16(reg + 0.5)
+}
+
+// Access admits one line-sized request at virtual time now and returns the
+// time at which its data is available. serviceLat is the device latency
+// (row access plus interconnect) as seen by the requesting socket; queueing
+// induced by channel occupancy is added on top. Posted traffic (writebacks,
+// prefetch fills) still occupies channel slots but callers normally ignore
+// the returned completion time.
+func (c *Controller) Access(now sim.Time, addr uintptr, kind AccessKind, serviceLat sim.Time) sim.Time {
+	ch := int(addr/uintptr(c.cfg.LineSize)) % c.cfg.Channels
+	bw := c.ChannelBandwidth()
+	if kind.isWrite() {
+		bw = c.ChannelWriteBandwidth()
+	}
+	occupancy := sim.Time(float64(c.cfg.LineSize) / bw * float64(sim.Second))
+	start := now
+	if c.nextFree[ch] > start {
+		start = c.nextFree[ch]
+	}
+	c.nextFree[ch] = start + occupancy
+	c.stats.QueueTime += start - now
+
+	line := int64(c.cfg.LineSize)
+	switch kind {
+	case Read:
+		c.stats.Reads++
+		c.stats.BytesRead += line
+	case Write:
+		c.stats.Writes++
+		c.stats.BytesRead += line // write-allocate fills read the line first
+	case Writeback:
+		c.stats.Writebacks++
+		c.stats.BytesWritten += line
+	case Prefetch:
+		c.stats.Prefetches++
+		c.stats.BytesRead += line
+	}
+	return start + serviceLat
+}

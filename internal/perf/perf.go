@@ -1,0 +1,147 @@
+// Package perf models per-core hardware performance-monitoring counters
+// (PMCs): the family-specific event sets of the paper's Table 1, the cost of
+// reading counters (rdpmc versus virtualized frameworks like perf/PAPI), and
+// per-family fidelity quirks.
+//
+// The paper notes that the Sandy Bridge stall counters are "less reliable"
+// than Ivy Bridge / Haswell ones, which is why its emulation errors are
+// larger (up to 9% versus 2%). We model that as a deterministic
+// multiplicative bias plus bounded pseudo-noise applied when counters are
+// read, so the emulator — which only ever sees counter values — inherits
+// family-shaped inaccuracy exactly as on real hardware.
+package perf
+
+import "fmt"
+
+// Family identifies an Intel Xeon processor generation.
+type Family int
+
+// Supported processor families (the three the paper implements).
+const (
+	SandyBridge Family = iota + 1
+	IvyBridge
+	Haswell
+)
+
+func (f Family) String() string {
+	switch f {
+	case SandyBridge:
+		return "Sandy Bridge"
+	case IvyBridge:
+		return "Ivy Bridge"
+	case Haswell:
+		return "Haswell"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// Event identifies a hardware performance event used by the Quartz model.
+type Event int
+
+// Model events. Sandy Bridge exposes only the total L3 miss count; Ivy
+// Bridge and Haswell split misses into local and remote DRAM (Table 1),
+// which is what enables the two-memory-type (DRAM+NVM) mode.
+const (
+	EventStallsL2Pending Event = iota + 1 // stall cycles with L2-pending loads
+	EventL3Hit                            // loads served by the last-level cache
+	EventL3Miss                           // loads missing LLC (total)
+	EventL3MissLocal                      // LLC misses served by local DRAM
+	EventL3MissRemote                     // LLC misses served by remote DRAM
+)
+
+func (e Event) String() string {
+	switch e {
+	case EventStallsL2Pending:
+		return "L2_stalls"
+	case EventL3Hit:
+		return "L3_hit"
+	case EventL3Miss:
+		return "L3_miss"
+	case EventL3MissLocal:
+		return "L3_miss_local"
+	case EventL3MissRemote:
+		return "L3_miss_remote"
+	default:
+		return fmt.Sprintf("Event(%d)", int(e))
+	}
+}
+
+// EventName reports the Intel mnemonic programmed for event e on family f,
+// reproducing the paper's Table 1. ok is false if the family cannot count e.
+func EventName(f Family, e Event) (name string, ok bool) {
+	switch f {
+	case SandyBridge:
+		switch e {
+		case EventStallsL2Pending:
+			return "CYCLE_ACTIVITY:STALLS_L2_PENDING", true
+		case EventL3Hit:
+			return "MEM_LOAD_UOPS_RETIRED:L3_HIT", true
+		case EventL3Miss:
+			return "MEM_LOAD_UOPS_MISC_RETIRED:LLC_MISS", true
+		}
+	case IvyBridge:
+		switch e {
+		case EventStallsL2Pending:
+			return "CYCLE_ACTIVITY:STALLS_L2_PENDING", true
+		case EventL3Hit:
+			return "MEM_LOAD_UOPS_LLC_HIT_RETIRED:XSNP_NONE", true
+		case EventL3MissLocal:
+			return "MEM_LOAD_UOPS_LLC_MISS_RETIRED:LOCAL_DRAM", true
+		case EventL3MissRemote:
+			return "MEM_LOAD_UOPS_LLC_MISS_RETIRED:REMOTE_DRAM", true
+		}
+	case Haswell:
+		switch e {
+		case EventStallsL2Pending:
+			return "CYCLE_ACTIVITY:STALLS_L2_PENDING", true
+		case EventL3Hit:
+			return "MEM_LOAD_UOPS_L3_HIT_RETIRED:XSNP_NONE", true
+		case EventL3MissLocal:
+			return "MEM_LOAD_UOPS_L3_MISS_RETIRED:LOCAL_DRAM", true
+		case EventL3MissRemote:
+			return "MEM_LOAD_UOPS_L3_MISS_RETIRED:REMOTE_DRAM", true
+		}
+	}
+	return "", false
+}
+
+// EventsFor reports the event set Quartz programs on family f (Table 1).
+func EventsFor(f Family) []Event {
+	if f == SandyBridge {
+		return []Event{EventStallsL2Pending, EventL3Hit, EventL3Miss}
+	}
+	return []Event{EventStallsL2Pending, EventL3Hit, EventL3MissLocal, EventL3MissRemote}
+}
+
+// SplitsLocalRemote reports whether family f can attribute LLC misses to
+// local versus remote DRAM, the prerequisite for two-memory-type emulation.
+func SplitsLocalRemote(f Family) bool { return f != SandyBridge }
+
+// Fidelity models counter trustworthiness per family.
+type Fidelity struct {
+	// StallBias multiplies the stall-cycle counter at read time (1.0 =
+	// perfect). Real STALLS_L2_PENDING implementations over- or
+	// under-count stalls attributable to memory.
+	StallBias float64
+	// StallNoise is the amplitude of deterministic pseudo-noise applied to
+	// stall reads, as a fraction of the value.
+	StallNoise float64
+}
+
+// DefaultFidelity reports the fidelity used for family f. The values are
+// chosen so that the emulator's end-to-end validation errors land in the
+// per-family bands the paper reports (Fig. 12: <9% Sandy Bridge, <2% Ivy
+// Bridge, <6% Haswell).
+func DefaultFidelity(f Family) Fidelity {
+	switch f {
+	case SandyBridge:
+		return Fidelity{StallBias: 1.055, StallNoise: 0.02}
+	case IvyBridge:
+		return Fidelity{StallBias: 1.004, StallNoise: 0.004}
+	case Haswell:
+		return Fidelity{StallBias: 1.03, StallNoise: 0.01}
+	default:
+		return Fidelity{StallBias: 1.0}
+	}
+}

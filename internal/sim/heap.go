@@ -1,0 +1,91 @@
+package sim
+
+// coroHeap is a binary min-heap of coros ordered by scheduling key, with
+// coro id as a deterministic tie-breaker. Coros track their heap index so
+// they can be re-positioned in place when a wake-up time changes.
+type coroHeap struct {
+	items []*Coro
+}
+
+func (h *coroHeap) len() int { return len(h.items) }
+
+func (h *coroHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	ka, kb := a.key(), b.key()
+	if ka != kb {
+		return ka < kb
+	}
+	return a.id < b.id
+}
+
+func (h *coroHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].heapIdx = i
+	h.items[j].heapIdx = j
+}
+
+func (h *coroHeap) push(c *Coro) {
+	c.heapIdx = len(h.items)
+	h.items = append(h.items, c)
+	h.up(c.heapIdx)
+}
+
+func (h *coroHeap) pop() *Coro {
+	n := len(h.items)
+	top := h.items[0]
+	h.swap(0, n-1)
+	h.items[n-1] = nil
+	h.items = h.items[:n-1]
+	if len(h.items) > 0 {
+		h.down(0)
+	}
+	top.heapIdx = -1
+	return top
+}
+
+func (h *coroHeap) peek() *Coro {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+// fix restores heap order after c's key changed in place.
+func (h *coroHeap) fix(c *Coro) {
+	i := c.heapIdx
+	if i < 0 || i >= len(h.items) || h.items[i] != c {
+		return
+	}
+	h.up(i)
+	h.down(c.heapIdx)
+}
+
+func (h *coroHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *coroHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

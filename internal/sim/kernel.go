@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Kernel is the discrete-event scheduler. It owns every simulated thread
+// (Coro) and interleaves them deterministically in virtual-time order.
+//
+// The zero value is not usable; construct kernels with NewKernel.
+type Kernel struct {
+	lookahead Time
+
+	coros   []*Coro // all coros ever spawned, by id
+	queue   coroHeap
+	running *Coro // coro currently executing, nil while scheduling
+
+	spawned  int
+	finished int
+	failure  error
+	aborted  bool
+}
+
+// NewKernel returns a kernel with the given lookahead quantum.
+//
+// A zero lookahead gives strict global virtual-time ordering for every
+// operation. A positive lookahead lets a resumed thread keep executing
+// non-strict operations until its clock exceeds the minimum peer clock plus
+// the quantum, which greatly reduces context switches for memory-access
+// heavy multithreaded workloads.
+func NewKernel(lookahead Time) *Kernel {
+	if lookahead < 0 {
+		lookahead = 0
+	}
+	return &Kernel{lookahead: lookahead}
+}
+
+// Lookahead reports the kernel's lookahead quantum.
+func (k *Kernel) Lookahead() Time { return k.lookahead }
+
+// Spawn creates a new simulated thread whose body is fn, starting at virtual
+// time start. It may be called before Run, or from inside a running coro (in
+// which case start is typically the parent's clock plus a creation cost).
+//
+// The coro's goroutine is created lazily on first resume, so spawning is
+// cheap and no goroutine outlives Run.
+func (k *Kernel) Spawn(name string, start Time, fn func(*Coro)) *Coro {
+	c := &Coro{
+		kernel: k,
+		id:     k.spawned,
+		name:   name,
+		clock:  start,
+		state:  stateRunnable,
+		body:   fn,
+		resume: make(chan grant),
+		yield:  make(chan struct{}),
+	}
+	k.spawned++
+	k.coros = append(k.coros, c)
+	k.queue.push(c)
+	k.noteEnqueued(c.key())
+	return c
+}
+
+// Run executes the simulation until every thread has finished. It returns an
+// error if a thread failed (via Coro.Failf or a panic in its body) or if the
+// system deadlocked (blocked threads remain but nothing is runnable).
+func (k *Kernel) Run() error {
+	for k.queue.len() > 0 && !k.aborted {
+		c := k.queue.pop()
+		if c.state == stateSleeping {
+			c.clock = maxTime(c.clock, c.wake)
+			c.state = stateRunnable
+		}
+		c.grant = k.grantFor(c)
+		k.dispatch(c)
+		if c.state == stateRunnable || c.state == stateSleeping {
+			k.queue.push(c)
+		}
+	}
+	blocked := k.blockedNames()
+	k.drain()
+	if k.failure != nil {
+		return k.failure
+	}
+	if len(blocked) > 0 {
+		return fmt.Errorf("sim: deadlock: %d thread(s) blocked forever: %v", len(blocked), blocked)
+	}
+	return nil
+}
+
+// drain unwinds every started-but-unfinished coro goroutine so that Run
+// never leaks goroutines, even after an abort or deadlock.
+func (k *Kernel) drain() {
+	for _, c := range k.coros {
+		if c.started && c.state != stateDone {
+			c.resume <- grant{abort: true}
+			<-c.yield
+		}
+	}
+}
+
+// Now reports the low-water mark of virtual time: the clock of the earliest
+// runnable or sleeping thread, or the maximum finished clock if none remain.
+func (k *Kernel) Now() Time {
+	c := k.queue.peek()
+	switch {
+	case c != nil && k.running != nil:
+		return minTime(c.key(), k.running.clock)
+	case c != nil:
+		return c.key()
+	case k.running != nil:
+		return k.running.clock
+	}
+	var end Time
+	for _, c := range k.coros {
+		if c.state == stateDone {
+			end = maxTime(end, c.clock)
+		}
+	}
+	return end
+}
+
+// dispatch hands control to c and waits for it to yield back.
+func (k *Kernel) dispatch(c *Coro) {
+	k.running = c
+	if !c.started {
+		c.started = true
+		go c.run()
+	}
+	c.resume <- c.grant
+	<-c.yield
+	k.running = nil
+}
+
+// grantFor computes the execution horizon for c: how far its clock may
+// advance before it must yield back to the scheduler.
+func (k *Kernel) grantFor(c *Coro) grant {
+	peer := k.queue.peek()
+	if peer == nil {
+		return grant{strict: MaxTime, horizon: MaxTime}
+	}
+	pk := peer.key()
+	h := pk + k.lookahead
+	if h < pk { // overflow
+		h = MaxTime
+	}
+	return grant{strict: pk, horizon: h}
+}
+
+// unblock moves a blocked coro back onto the run queue with its clock
+// advanced to at least at. It must only be called from simulation context
+// (inside a running coro) or before Run starts.
+func (k *Kernel) unblock(c *Coro, at Time) {
+	if c.state != stateBlocked {
+		k.fail(fmt.Errorf("sim: unblock of %s in state %v", c.name, c.state))
+		return
+	}
+	c.clock = maxTime(c.clock, at)
+	c.state = stateRunnable
+	k.queue.push(c)
+	k.noteEnqueued(c.key())
+}
+
+// noteEnqueued shrinks the running coro's execution grant after a peer
+// appears at (or moves to) virtual time at. Without this, a coro that was
+// granted a far horizon (for example while it was the only runnable thread)
+// could keep executing past events of a thread it just spawned or woke,
+// violating causality.
+func (k *Kernel) noteEnqueued(at Time) {
+	r := k.running
+	if r == nil {
+		return
+	}
+	r.grant.strict = minTime(r.grant.strict, at)
+	h := at + k.lookahead
+	if h < at { // overflow
+		h = MaxTime
+	}
+	r.grant.horizon = minTime(r.grant.horizon, h)
+}
+
+// fail records the first fatal error and aborts the simulation.
+func (k *Kernel) fail(err error) {
+	if k.failure == nil {
+		k.failure = err
+	}
+	k.aborted = true
+}
+
+func (k *Kernel) blockedNames() []string {
+	var names []string
+	for _, c := range k.coros {
+		if c.state == stateBlocked {
+			names = append(names, c.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ErrAborted is returned by coro operations attempted after the kernel has
+// aborted due to a prior failure.
+var ErrAborted = errors.New("sim: kernel aborted")

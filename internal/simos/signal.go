@@ -1,0 +1,31 @@
+package simos
+
+import "fmt"
+
+// Signal is a POSIX-style signal number.
+type Signal int
+
+// Signals used by the emulator and tests.
+const (
+	// SigEpoch is the signal the Quartz monitor sends to interrupt an
+	// application thread whose epoch exceeded the maximum length
+	// (SIGUSR1 in the real implementation).
+	SigEpoch Signal = iota + 1
+	// SigUser2 is a spare user signal for tests.
+	SigUser2
+)
+
+func (s Signal) String() string {
+	switch s {
+	case SigEpoch:
+		return "SIGEPOCH"
+	case SigUser2:
+		return "SIGUSR2"
+	default:
+		return fmt.Sprintf("Signal(%d)", int(s))
+	}
+}
+
+// Handler is a signal handler. It runs in the interrupted thread's context,
+// like a POSIX handler on the target thread's stack.
+type Handler func(t *Thread, s Signal)

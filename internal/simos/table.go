@@ -1,0 +1,51 @@
+package simos
+
+// FuncTable holds the process's overridable "libc/libpthread" entry points.
+// System libraries define these as weak symbols; the real Quartz overrides
+// them by defining same-signature functions in a library loaded first via
+// LD_PRELOAD (§3.1). Here an emulator overrides table entries before the
+// process runs, wrapping the previous value to redirect to the original
+// function after its own bookkeeping — the same call-intercept-redirect
+// structure.
+type FuncTable struct {
+	// ThreadCreate intercepts pthread_create. socket pins the new thread
+	// to a socket; -1 follows process policy.
+	ThreadCreate func(parent *Thread, name string, fn ThreadFunc, socket int) (*Thread, error)
+	// MutexLock intercepts pthread_mutex_lock.
+	MutexLock func(t *Thread, m *Mutex)
+	// MutexUnlock intercepts pthread_mutex_unlock — the lock-release event
+	// the Quartz prototype interposes on to propagate delays (§2.3).
+	MutexUnlock func(t *Thread, m *Mutex)
+	// CondSignal intercepts pthread_cond_signal.
+	CondSignal func(t *Thread, c *Cond)
+	// CondBroadcast intercepts pthread_cond_broadcast.
+	CondBroadcast func(t *Thread, c *Cond)
+	// BarrierWait intercepts an OpenMP-style barrier rendezvous.
+	BarrierWait func(t *Thread, b *Barrier)
+	// RWLockShared intercepts pthread_rwlock_rdlock.
+	RWLockShared func(t *Thread, m *RWMutex)
+	// RWLockExclusive intercepts pthread_rwlock_wrlock.
+	RWLockExclusive func(t *Thread, m *RWMutex)
+	// RWUnlock intercepts pthread_rwlock_unlock.
+	RWUnlock func(t *Thread, m *RWMutex)
+}
+
+// defaultFuncTable wires the uninterposed implementations.
+func defaultFuncTable() FuncTable {
+	return FuncTable{
+		ThreadCreate: func(parent *Thread, name string, fn ThreadFunc, socket int) (*Thread, error) {
+			p := parent.proc
+			parent.Compute(p.opts.ThreadCreateCycles)
+			parent.coro.Strict()
+			return p.newThread(parent, name, fn, socket, 0)
+		},
+		MutexLock:       doLock,
+		MutexUnlock:     doUnlock,
+		CondSignal:      doCondSignal,
+		CondBroadcast:   doCondBroadcast,
+		BarrierWait:     doBarrierWait,
+		RWLockShared:    doRWLockShared,
+		RWLockExclusive: doRWLockExclusive,
+		RWUnlock:        doRWUnlock,
+	}
+}

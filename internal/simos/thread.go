@@ -1,0 +1,263 @@
+package simos
+
+import (
+	"fmt"
+
+	"github.com/quartz-emu/quartz/internal/cpu"
+	"github.com/quartz-emu/quartz/internal/sim"
+	"github.com/quartz-emu/quartz/internal/trace"
+)
+
+// ThreadFunc is a simulated thread body.
+type ThreadFunc func(*Thread)
+
+// Thread is one simulated POSIX thread bound to a core.
+type Thread struct {
+	proc *Process
+	coro *sim.Coro
+	core *cpu.Core
+	tid  int
+	name string
+
+	sigPending []Signal
+	inHandler  bool
+	done       bool
+	endClock   sim.Time
+	joiners    []*Thread
+}
+
+// TID reports the thread id.
+func (t *Thread) TID() int { return t.tid }
+
+// Name reports the thread's diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// Process reports the owning process.
+func (t *Thread) Process() *Process { return t.proc }
+
+// Core reports the core the thread is bound to.
+func (t *Thread) Core() *cpu.Core { return t.core }
+
+// Now reports the thread's local virtual time (CLOCK_MONOTONIC).
+func (t *Thread) Now() sim.Time { return t.coro.Clock() }
+
+// Done reports whether the thread body has returned.
+func (t *Thread) Done() bool { return t.done }
+
+// Failf aborts the simulation with an error attributed to this thread.
+func (t *Thread) Failf(format string, args ...any) {
+	t.coro.Failf(format, args...)
+}
+
+// Trace records an event against this thread when tracing is active. The
+// emulator uses it for epoch and injection events; applications may record
+// their own (trace.KindUser).
+func (t *Thread) Trace(kind trace.Kind, detail string) {
+	if tr := t.proc.tracer; tr != nil {
+		tr.Record(t.coro.Clock(), t.name, kind, detail)
+	}
+}
+
+// traceAddr records a memory-op event without formatting cost when tracing
+// is off.
+func (t *Thread) traceAddr(kind trace.Kind, addr uintptr) {
+	if tr := t.proc.tracer; tr != nil {
+		tr.Record(t.coro.Clock(), t.name, kind, fmt.Sprintf("0x%x", addr))
+	}
+}
+
+// finish runs after the thread body returns: it wakes joiners.
+func (t *Thread) finish() {
+	t.done = true
+	t.endClock = t.coro.Clock()
+	t.coro.Strict()
+	for _, j := range t.joiners {
+		t.coro.Unblock(j.coro, t.endClock+t.proc.cyc(t.proc.opts.MutexHandoffCycles, t))
+	}
+	t.joiners = nil
+}
+
+// cyc converts a cycle count to time at th's core frequency.
+func (p *Process) cyc(cycles int64, th *Thread) sim.Time {
+	return sim.CyclesToTime(cycles, th.core.FreqHz())
+}
+
+// Compute advances the thread by n core cycles of pure computation.
+func (t *Thread) Compute(n int64) {
+	t.checkSignals()
+	if n <= 0 {
+		return
+	}
+	t.coro.Sync()
+	t.coro.Advance(t.core.ComputeTime(t.coro.Clock(), n))
+}
+
+// ComputeFor advances the thread by a wall-clock duration of computation.
+func (t *Thread) ComputeFor(d sim.Time) {
+	t.checkSignals()
+	if d > 0 {
+		t.coro.Sync()
+		t.coro.Advance(d)
+	}
+}
+
+// Load performs one demand load from the simulated address.
+func (t *Thread) Load(addr uintptr) {
+	t.checkSignals()
+	t.coro.Sync()
+	t.traceAddr(trace.KindLoad, addr)
+	lat, _ := t.core.Load(t.coro.Clock(), addr)
+	t.coro.Advance(lat)
+}
+
+// LoadGroup performs independent loads in parallel (memory-level
+// parallelism), advancing by the overlapped completion time.
+func (t *Thread) LoadGroup(addrs []uintptr) {
+	t.checkSignals()
+	if len(addrs) == 0 {
+		return
+	}
+	t.coro.Sync()
+	t.coro.Advance(t.core.LoadGroup(t.coro.Clock(), addrs))
+}
+
+// Store performs one posted store to the simulated address.
+func (t *Thread) Store(addr uintptr) {
+	t.checkSignals()
+	t.coro.Sync()
+	t.traceAddr(trace.KindStore, addr)
+	t.coro.Advance(t.core.Store(t.coro.Clock(), addr))
+}
+
+// Flush writes back and invalidates the cache line holding addr (clflush),
+// stalling until the writeback reaches memory — the clflush ordering
+// guarantee persistent-memory software relies on.
+func (t *Thread) Flush(addr uintptr) {
+	t.checkSignals()
+	t.coro.Sync()
+	t.traceAddr(trace.KindFlush, addr)
+	lat, wbDone := t.core.Flush(t.coro.Clock(), addr)
+	t.coro.Advance(lat)
+	if wbDone > t.coro.Clock() {
+		t.coro.AdvanceTo(wbDone)
+	}
+}
+
+// FlushOpt writes back and invalidates the line without stalling for the
+// writeback (clflushopt); it returns the virtual time the writeback will
+// complete so a commit barrier (pcommit) can account for it.
+func (t *Thread) FlushOpt(addr uintptr) sim.Time {
+	t.checkSignals()
+	t.coro.Sync()
+	lat, wbDone := t.core.Flush(t.coro.Clock(), addr)
+	t.coro.Advance(lat)
+	return wbDone
+}
+
+// Fence stalls until the given completion time (sfence/pcommit wait).
+func (t *Thread) Fence(until sim.Time) {
+	t.checkSignals()
+	t.coro.AdvanceTo(until)
+}
+
+// RDTSC reads the core timestamp counter (rdtscp), charging its cost.
+func (t *Thread) RDTSC() uint64 {
+	const rdtscpCycles = 32
+	t.coro.Advance(t.core.TimeForCycles(rdtscpCycles))
+	return t.core.TSC(t.coro.Clock())
+}
+
+// SpinUntilTSC spins (as Quartz's delay injection does) until the timestamp
+// counter reaches target, polling every pollCycles.
+func (t *Thread) SpinUntilTSC(target uint64, pollCycles int64) {
+	if pollCycles <= 0 {
+		pollCycles = 20
+	}
+	for t.core.TSC(t.coro.Clock()) < target {
+		t.coro.Advance(t.core.TimeForCycles(pollCycles))
+	}
+}
+
+// Nanosleep blocks for d of virtual time. If a signal arrives during the
+// sleep the call wakes early, runs the handler, and returns ErrInterrupted
+// (EINTR) — applications must retry, per §3.1.
+func (t *Thread) Nanosleep(d sim.Time) error {
+	t.checkSignals()
+	deadline := t.coro.Clock() + d
+	woke := t.coro.SleepUntil(deadline)
+	if len(t.sigPending) > 0 {
+		t.checkSignals()
+		if woke < deadline {
+			return fmt.Errorf("simos: nanosleep: %w", ErrInterrupted)
+		}
+	}
+	return nil
+}
+
+// YieldStrict synchronizes the thread with global virtual time; used before
+// operations whose cross-thread ordering must be exact.
+func (t *Thread) YieldStrict() { t.coro.Strict() }
+
+// CreateThread creates a new thread running fn. It routes through the
+// process function table so an attached emulator can interpose (the
+// pthread_create hook).
+func (t *Thread) CreateThread(name string, fn ThreadFunc) (*Thread, error) {
+	return t.proc.table.ThreadCreate(t, name, fn, -1)
+}
+
+// CreateThreadOn is CreateThread pinned to a socket.
+func (t *Thread) CreateThreadOn(socket int, name string, fn ThreadFunc) (*Thread, error) {
+	return t.proc.table.ThreadCreate(t, name, fn, socket)
+}
+
+// Join blocks until other's body has returned.
+func (t *Thread) Join(other *Thread) {
+	t.checkSignals()
+	t.coro.Strict()
+	if other.done {
+		t.coro.AdvanceTo(other.endClock)
+		return
+	}
+	other.joiners = append(other.joiners, t)
+	t.coro.Block()
+	t.checkSignals()
+}
+
+// Kill queues signal s for target and wakes it if it is sleeping
+// (pthread_kill). Handlers run at the target's next interruption point.
+func (t *Thread) Kill(target *Thread, s Signal) {
+	t.coro.Strict()
+	if target.done {
+		return
+	}
+	for _, pending := range target.sigPending {
+		if pending == s {
+			// Standard (non-realtime) POSIX signals coalesce: a signal
+			// already pending is not queued twice.
+			return
+		}
+	}
+	target.sigPending = append(target.sigPending, s)
+	t.coro.Interrupt(target.coro, t.coro.Clock()+t.proc.cyc(t.proc.opts.SignalDeliveryCycles, target))
+}
+
+// checkSignals delivers pending signals by running their handlers inline in
+// this thread's context. Nested delivery is suppressed while a handler runs.
+func (t *Thread) checkSignals() {
+	if t.inHandler {
+		return
+	}
+	for len(t.sigPending) > 0 {
+		s := t.sigPending[0]
+		t.sigPending = t.sigPending[1:]
+		h := t.proc.handlers[s]
+		if h == nil {
+			continue // default disposition: ignore
+		}
+		t.inHandler = true
+		t.Trace(trace.KindSignal, s.String())
+		t.coro.Advance(t.proc.cyc(t.proc.opts.SignalDeliveryCycles, t))
+		h(t, s)
+		t.inHandler = false
+	}
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("stddev = %g, want sqrt(2.5)", s.Stddev)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Stddev != 0 || s.Min != 7 || s.Max != 7 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	tests := []struct {
+		got, want, expect float64
+	}{
+		{110, 100, 0.1},
+		{90, 100, 0.1},
+		{100, 100, 0},
+		{0, 0, 0},
+		{-110, -100, 0.1},
+	}
+	for _, tt := range tests {
+		if got := RelErr(tt.got, tt.want); math.Abs(got-tt.expect) > 1e-12 {
+			t.Errorf("RelErr(%g,%g) = %g, want %g", tt.got, tt.want, got, tt.expect)
+		}
+	}
+	if !math.IsInf(RelErr(1, 0), 1) {
+		t.Error("RelErr(1,0) not +Inf")
+	}
+}
+
+func TestSignedErr(t *testing.T) {
+	if got := SignedErr(90, 100); math.Abs(got+0.1) > 1e-12 {
+		t.Errorf("SignedErr(90,100) = %g, want -0.1", got)
+	}
+	if got := SignedErr(120, 100); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("SignedErr(120,100) = %g, want 0.2", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %g", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("p100 = %g", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("p50 = %g", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile not NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Percentile sorted its input in place")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean(1,4) = %g, want 2", got)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Error("GeoMean with negative input not NaN")
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("GeoMean(empty) not NaN")
+	}
+}
+
+func TestSummaryBoundsProperty(t *testing.T) {
+	prop := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			// Bound magnitudes so the sum cannot overflow; the summary is
+			// used on measurement data, not extreme-float corner cases.
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e150 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean && s.Mean <= s.Max && s.Stddev >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

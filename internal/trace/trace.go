@@ -1,0 +1,149 @@
+// Package trace is a lightweight virtual-time execution tracer. A bounded
+// ring buffer records (time, thread, kind, detail) events; when a workload
+// under emulation behaves unexpectedly — delays landing in the wrong place,
+// epochs closing too often — the dumped trace shows the interleaving of
+// memory operations, synchronization, signals and epoch boundaries in
+// virtual-time order.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/quartz-emu/quartz/internal/sim"
+)
+
+// Kind classifies trace events.
+type Kind int
+
+// Event kinds.
+const (
+	KindLoad Kind = iota + 1
+	KindStore
+	KindFlush
+	KindCompute
+	KindLock
+	KindUnlock
+	KindCondWait
+	KindCondSignal
+	KindBarrier
+	KindSignal
+	KindSleep
+	KindThreadStart
+	KindThreadExit
+	KindEpoch
+	KindInject
+	KindUser
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindLoad:
+		return "load"
+	case KindStore:
+		return "store"
+	case KindFlush:
+		return "flush"
+	case KindCompute:
+		return "compute"
+	case KindLock:
+		return "lock"
+	case KindUnlock:
+		return "unlock"
+	case KindCondWait:
+		return "cond-wait"
+	case KindCondSignal:
+		return "cond-signal"
+	case KindBarrier:
+		return "barrier"
+	case KindSignal:
+		return "signal"
+	case KindSleep:
+		return "sleep"
+	case KindThreadStart:
+		return "thread-start"
+	case KindThreadExit:
+		return "thread-exit"
+	case KindEpoch:
+		return "epoch"
+	case KindInject:
+		return "inject"
+	case KindUser:
+		return "user"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Time   sim.Time
+	Thread string
+	Kind   Kind
+	Detail string
+}
+
+// Buffer is a bounded ring of events. It is used from simulation context
+// only (single-threaded), so it needs no locking.
+type Buffer struct {
+	events []Event
+	next   int
+	filled bool
+	total  int64
+}
+
+// NewBuffer creates a ring holding up to cap events.
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Buffer{events: make([]Event, capacity)}
+}
+
+// Record appends an event, overwriting the oldest when full.
+func (b *Buffer) Record(at sim.Time, thread string, kind Kind, detail string) {
+	b.events[b.next] = Event{Time: at, Thread: thread, Kind: kind, Detail: detail}
+	b.next++
+	b.total++
+	if b.next == len(b.events) {
+		b.next = 0
+		b.filled = true
+	}
+}
+
+// Len reports how many events are currently retained.
+func (b *Buffer) Len() int {
+	if b.filled {
+		return len(b.events)
+	}
+	return b.next
+}
+
+// Total reports how many events were ever recorded (including overwritten).
+func (b *Buffer) Total() int64 { return b.total }
+
+// Events returns the retained events in recording order.
+func (b *Buffer) Events() []Event {
+	if !b.filled {
+		return append([]Event(nil), b.events[:b.next]...)
+	}
+	out := make([]Event, 0, len(b.events))
+	out = append(out, b.events[b.next:]...)
+	out = append(out, b.events[:b.next]...)
+	return out
+}
+
+// Dump writes the retained events as text, sorted by virtual time (events
+// from different threads may be recorded slightly out of order under
+// lookahead execution).
+func (b *Buffer) Dump(w io.Writer) error {
+	evs := b.Events()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time < evs[j].Time })
+	for _, e := range evs {
+		if _, err := fmt.Fprintf(w, "%14s  %-16s %-12s %s\n", e.Time, e.Thread, e.Kind, e.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/quartz-emu/quartz/internal/sim"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	b := NewBuffer(8)
+	b.Record(10*sim.Nanosecond, "main", KindLoad, "0x1000")
+	b.Record(20*sim.Nanosecond, "main", KindUnlock, "m")
+	evs := b.Events()
+	if len(evs) != 2 || b.Len() != 2 || b.Total() != 2 {
+		t.Fatalf("events = %d, len = %d, total = %d", len(evs), b.Len(), b.Total())
+	}
+	if evs[0].Kind != KindLoad || evs[1].Detail != "m" {
+		t.Errorf("event contents wrong: %+v", evs)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 10; i++ {
+		b.Record(sim.Time(i)*sim.Nanosecond, "t", KindCompute, "")
+	}
+	evs := b.Events()
+	if len(evs) != 4 || b.Total() != 10 {
+		t.Fatalf("retained %d (total %d), want 4 (10)", len(evs), b.Total())
+	}
+	// Oldest retained event is i=6.
+	if evs[0].Time != 6*sim.Nanosecond || evs[3].Time != 9*sim.Nanosecond {
+		t.Errorf("ring window = [%v, %v], want [6ns, 9ns]", evs[0].Time, evs[3].Time)
+	}
+}
+
+func TestDumpSortedByTime(t *testing.T) {
+	b := NewBuffer(8)
+	b.Record(30*sim.Nanosecond, "b", KindStore, "late")
+	b.Record(10*sim.Nanosecond, "a", KindLoad, "early")
+	var sb strings.Builder
+	if err := b.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Index(out, "early") > strings.Index(out, "late") {
+		t.Errorf("dump not time-sorted:\n%s", out)
+	}
+	if !strings.Contains(out, "load") || !strings.Contains(out, "store") {
+		t.Errorf("dump missing kinds:\n%s", out)
+	}
+}
+
+func TestZeroCapacityDefaults(t *testing.T) {
+	b := NewBuffer(0)
+	if len(b.events) == 0 {
+		t.Error("zero capacity produced empty ring")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindLoad; k <= KindUser; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+	if !strings.HasPrefix(Kind(99).String(), "Kind(") {
+		t.Error("unknown kind not formatted as Kind(n)")
+	}
+}
