@@ -1,0 +1,30 @@
+# Build/test/bench entry points. `make` runs vet + race tests (the tier-1
+# gate plus the race detector over the parallel runner).
+
+GO ?= go
+
+.PHONY: all build vet test bench-quick bench full-results
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+# bench-quick regenerates two representative artifacts on the parallel
+# runner — a fast smoke test of the whole stack.
+bench-quick:
+	$(GO) run ./cmd/quartzbench -exp table2,fig8 -scale quick -parallel 4
+
+# bench runs every paper artifact as testing.B benchmarks at quick scale.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# full-results regenerates EXPERIMENTS.md's numbers (slow).
+full-results:
+	$(GO) run ./cmd/quartzbench -exp all -scale full -parallel 0 -progress -o full_results.txt

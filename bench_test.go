@@ -11,25 +11,32 @@ package quartz
 // come from `go run ./cmd/quartzbench -exp all -scale full`.
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
 
 	"github.com/quartz-emu/quartz/internal/experiments"
 	"github.com/quartz-emu/quartz/internal/machine"
+	"github.com/quartz-emu/quartz/internal/runner"
 	"github.com/quartz-emu/quartz/internal/sim"
 	"github.com/quartz-emu/quartz/internal/simos"
 )
 
-// runExperiment regenerates one artifact per iteration and reports the mean
-// of the last column the extractor selects.
+// runExperiment regenerates one artifact per iteration through the runner
+// (GOMAXPROCS workers — the engine guarantees tables identical to the serial
+// path) and reports the mean of the column the extractor selects.
 func runExperiment(b *testing.B, id string, metric string, extract func(experiments.Table) float64) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		table, err := experiments.Run(id, experiments.Quick)
+		runs, err := runner.Suite(context.Background(), []string{id}, experiments.Quick, runner.Config{})
 		if err != nil {
 			b.Fatal(err)
 		}
+		if runs[0].Err != nil {
+			b.Fatal(runs[0].Err)
+		}
+		table := runs[0].Table
 		if len(table.Rows) == 0 {
 			b.Fatalf("%s produced no rows", id)
 		}

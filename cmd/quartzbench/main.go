@@ -2,40 +2,59 @@
 // table and figure of §4 plus the §3.2 overhead accounting and the design
 // ablations, printed as text tables.
 //
+// Experiments are decomposed into independent sweep-point jobs and executed
+// on a worker pool (internal/runner); the rendered tables are byte-identical
+// for every -parallel setting, including the serial -parallel 1 special
+// case. A crashed or timed-out job fails its experiment (and the exit code)
+// without stopping the rest of the suite.
+//
 // Usage:
 //
 //	quartzbench -list
 //	quartzbench -exp fig11,fig12 -scale quick
-//	quartzbench -exp all -scale full -o results.txt
+//	quartzbench -exp all -scale full -parallel 8 -json results.jsonl -o results.txt
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"github.com/quartz-emu/quartz/internal/experiments"
+	"github.com/quartz-emu/quartz/internal/runner"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("quartzbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		scaleFlag = flag.String("scale", "quick", "sweep scale: quick or full")
-		outFlag   = flag.String("o", "", "also write output to this file")
-		listFlag  = flag.Bool("list", false, "list experiment ids and exit")
+		expFlag      = fs.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scaleFlag    = fs.String("scale", "quick", "sweep scale: quick or full")
+		outFlag      = fs.String("o", "", "also write output to this file")
+		listFlag     = fs.Bool("list", false, "list experiment ids and exit")
+		parallelFlag = fs.Int("parallel", 0, "concurrent jobs (0 = GOMAXPROCS, 1 = serial)")
+		jsonFlag     = fs.String("json", "", "write per-job JSONL results to this file")
+		timeoutFlag  = fs.Duration("timeout", 0, "per-job timeout (0 = none)")
+		retriesFlag  = fs.Int("retries", 0, "retries per failed job")
+		progressFlag = fs.Bool("progress", false, "report job completion progress on stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *listFlag {
 		for _, id := range experiments.All() {
-			fmt.Println(id)
+			desc, _ := experiments.Describe(id)
+			fmt.Fprintf(stdout, "%-18s %s\n", id, desc)
 		}
 		return 0
 	}
@@ -47,41 +66,98 @@ func run() int {
 	case "full":
 		scale = experiments.Full
 	default:
-		fmt.Fprintf(os.Stderr, "quartzbench: unknown scale %q (quick|full)\n", *scaleFlag)
+		fmt.Fprintf(stderr, "quartzbench: unknown scale %q (quick|full)\n", *scaleFlag)
 		return 2
 	}
 
+	// Validate every id before running anything, so a typo in the last id
+	// doesn't waste the minutes spent running the earlier ones.
 	ids := experiments.All()
 	if *expFlag != "all" {
-		ids = strings.Split(*expFlag, ",")
+		ids = nil
+		var unknown []string
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(id)
+			if !experiments.Known(id) {
+				unknown = append(unknown, id)
+				continue
+			}
+			ids = append(ids, id)
+		}
+		if len(unknown) > 0 {
+			fmt.Fprintf(stderr, "quartzbench: unknown experiment(s) %q (see -list)\n", unknown)
+			return 2
+		}
+		if len(ids) == 0 {
+			fmt.Fprintln(stderr, "quartzbench: no experiments selected")
+			return 2
+		}
 	}
 
-	var out io.Writer = os.Stdout
+	var out io.Writer = stdout
 	if *outFlag != "" {
 		f, err := os.Create(*outFlag)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "quartzbench: %v\n", err)
+			fmt.Fprintf(stderr, "quartzbench: %v\n", err)
 			return 1
 		}
 		defer func() {
 			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "quartzbench: closing output: %v\n", err)
+				fmt.Fprintf(stderr, "quartzbench: closing output: %v\n", err)
 			}
 		}()
-		out = io.MultiWriter(os.Stdout, f)
+		out = io.MultiWriter(stdout, f)
 	}
 
-	fmt.Fprintf(out, "quartz evaluation suite (scale=%s, trials=%d)\n\n", *scaleFlag, scale.Trials)
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		start := time.Now()
-		table, err := experiments.Run(id, scale)
+	cfg := runner.Config{
+		Workers: *parallelFlag,
+		Timeout: *timeoutFlag,
+		Retries: *retriesFlag,
+	}
+	if *jsonFlag != "" {
+		jf, err := os.Create(*jsonFlag)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "quartzbench: %s: %v\n", id, err)
+			fmt.Fprintf(stderr, "quartzbench: %v\n", err)
 			return 1
 		}
-		fmt.Fprint(out, table.Render())
-		fmt.Fprintf(out, "(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		defer func() {
+			if err := jf.Close(); err != nil {
+				fmt.Fprintf(stderr, "quartzbench: closing json output: %v\n", err)
+			}
+		}()
+		cfg.Sink = runner.NewSink(jf)
 	}
-	return 0
+	if *progressFlag {
+		cfg.OnProgress = func(p runner.Progress) {
+			fmt.Fprintf(stderr, "[%d/%d] %s %s (%.1fs, %d failed)\n",
+				p.Done, p.Total, p.Last.JobID, p.Last.Status, p.Last.Wall.Seconds(), p.Failed)
+		}
+	}
+
+	// Ctrl-C cancels the suite: running jobs are abandoned, pending ones are
+	// recorded as canceled, and whatever assembled cleanly still renders.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fmt.Fprintf(out, "quartz evaluation suite (scale=%s, trials=%d)\n\n", *scaleFlag, scale.Trials)
+	start := time.Now()
+	runs, err := runner.Suite(ctx, ids, scale, cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "quartzbench: %v\n", err)
+		return 1
+	}
+	exit := 0
+	for _, er := range runs {
+		if er.Err != nil {
+			fmt.Fprintf(stderr, "quartzbench: %s: %v\n", er.ID, er.Err)
+			exit = 1
+			continue
+		}
+		fmt.Fprint(out, er.Table.Render())
+		fmt.Fprintf(out, "(%s in %.1fs)\n\n", er.ID, er.Wall.Seconds())
+	}
+	if *progressFlag {
+		fmt.Fprintf(stderr, "suite finished in %.1fs\n", time.Since(start).Seconds())
+	}
+	return exit
 }

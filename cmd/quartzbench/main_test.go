@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/quartz-emu/quartz/internal/experiments"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestListPrintsDescriptions(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, id := range experiments.All() {
+		desc, err := experiments.Describe(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(stdout, id) {
+			t.Errorf("-list missing id %q", id)
+		}
+		if !strings.Contains(stdout, desc) {
+			t.Errorf("-list missing description for %q", id)
+		}
+	}
+}
+
+// TestUnknownIDsRejectedUpfront: a typo anywhere in -exp must fail before
+// any experiment runs — quickly, and naming every bad id.
+func TestUnknownIDsRejectedUpfront(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-exp", "table2,fig99,bogus")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "fig99") || !strings.Contains(stderr, "bogus") {
+		t.Errorf("stderr does not name the unknown ids: %q", stderr)
+	}
+	if strings.Contains(stdout, "== table2") {
+		t.Error("experiments ran despite an invalid id")
+	}
+}
+
+func TestUnknownScaleRejected(t *testing.T) {
+	if code, _, _ := runCLI(t, "-scale", "huge"); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}
+
+// TestRunWritesTableAndJSONL exercises the full CLI path on the job-less
+// table1 artifact (no simulation, so the test stays fast).
+func TestRunWritesTableAndJSONL(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "results.jsonl")
+	code, stdout, stderr := runCLI(t, "-exp", "table1", "-parallel", "4", "-json", jsonPath)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "== table1:") {
+		t.Errorf("missing table1 render:\n%s", stdout)
+	}
+	if _, err := os.Stat(jsonPath); err != nil {
+		t.Errorf("JSONL file not created: %v", err)
+	}
+}

@@ -11,148 +11,218 @@ import (
 	"github.com/quartz-emu/quartz/internal/stats"
 )
 
+// modelAblationChains are the MLP degrees of the Eq. 1 vs Eq. 2 contrast.
+var modelAblationChains = []int{1, 4, 8}
+
+// modelAblationJobs decomposes the latency-model ablation into one job per
+// chain count; each runs the physical reference and both model variants.
+func modelAblationJobs(s Scale) JobSet {
+	js := JobSet{ID: "model-ablation"}
+	for _, chains := range modelAblationChains {
+		js.Jobs = append(js.Jobs, Job{
+			Name:   "chains=" + strconv.Itoa(chains),
+			Params: map[string]string{"chains": strconv.Itoa(chains)},
+			Run: func() (Metrics, error) {
+				mlCfg := bench.MemLatConfig{
+					Lines: s.Lines / 2, Chains: chains, Iters: s.MemLatIters, Seed: 21,
+				}
+				phys, err := runMemLat(bench.EnvConfig{Preset: machine.XeonE5_2660v2, Mode: bench.PhysicalRemote}, mlCfg)
+				if err != nil {
+					return nil, err
+				}
+				runModel := func(m core.Model) (sim.Time, error) {
+					q := quartzConfig(bench.RemoteLatNS(machine.XeonE5_2660v2))
+					q.Model = m
+					res, err := runMemLat(bench.EnvConfig{
+						Preset: machine.XeonE5_2660v2, Mode: bench.Emulated, Quartz: q,
+					}, mlCfg)
+					return res.CT, err
+				}
+				eq2, err := runModel(core.ModelStall)
+				if err != nil {
+					return nil, err
+				}
+				eq1, err := runModel(core.ModelSimple)
+				if err != nil {
+					return nil, err
+				}
+				return Metrics{
+					"phys_ct_ns": phys.CT.Nanoseconds(),
+					"eq2_ct_ns":  eq2.Nanoseconds(),
+					"eq1_ct_ns":  eq1.Nanoseconds(),
+				}, nil
+			},
+		})
+	}
+	js.Assemble = func(points []Metrics) (Table, error) {
+		t := Table{
+			ID:     "model-ablation",
+			Title:  "Eq. 2 (stall) vs Eq. 1 (simple) latency model under MLP (Fig. 2, Ivy Bridge)",
+			Header: []string{"Chains", "Conf_2 CT ms", "Eq.2 CT ms (err)", "Eq.1 CT ms (err)"},
+		}
+		for i, chains := range modelAblationChains {
+			phys := points[i]["phys_ct_ns"]
+			fmtCT := func(ctNS float64) string {
+				return f2(ctNS/1e6) + " (" + pct(stats.RelErr(ctNS, phys)) + ")"
+			}
+			t.Rows = append(t.Rows, []string{
+				strconv.Itoa(chains), f2(phys / 1e6),
+				fmtCT(points[i]["eq2_ct_ns"]), fmtCT(points[i]["eq1_ct_ns"]),
+			})
+		}
+		t.Notes = append(t.Notes, "Eq. 1 ignores MLP and over-delays parallel chains by about the chain count")
+		return t, nil
+	}
+	return js
+}
+
 // ModelAblation contrasts the paper's Eq. 2 stall model against the naive
 // Eq. 1 reference-count model (Fig. 2's motivation): under memory-level
 // parallelism, Eq. 1 over-delays by roughly the MLP factor.
-func ModelAblation(s Scale) (Table, error) {
-	t := Table{
-		ID:     "model-ablation",
-		Title:  "Eq. 2 (stall) vs Eq. 1 (simple) latency model under MLP (Fig. 2, Ivy Bridge)",
-		Header: []string{"Chains", "Conf_2 CT ms", "Eq.2 CT ms (err)", "Eq.1 CT ms (err)"},
-	}
-	for _, chains := range []int{1, 4, 8} {
-		mlCfg := bench.MemLatConfig{
-			Lines: s.Lines / 2, Chains: chains, Iters: s.MemLatIters, Seed: 21,
-		}
-		phys, err := runMemLat(bench.EnvConfig{Preset: machine.XeonE5_2660v2, Mode: bench.PhysicalRemote}, mlCfg)
-		if err != nil {
-			return Table{}, err
-		}
-		runModel := func(m core.Model) (sim.Time, error) {
-			q := quartzConfig(bench.RemoteLatNS(machine.XeonE5_2660v2))
-			q.Model = m
-			res, err := runMemLat(bench.EnvConfig{
-				Preset: machine.XeonE5_2660v2, Mode: bench.Emulated, Quartz: q,
-			}, mlCfg)
-			return res.CT, err
-		}
-		eq2, err := runModel(core.ModelStall)
-		if err != nil {
-			return Table{}, err
-		}
-		eq1, err := runModel(core.ModelSimple)
-		if err != nil {
-			return Table{}, err
-		}
-		fmtCT := func(ct sim.Time) string {
-			return f2(ct.Milliseconds()) + " (" + pct(stats.RelErr(float64(ct), float64(phys.CT))) + ")"
-		}
-		t.Rows = append(t.Rows, []string{
-			strconv.Itoa(chains), f2(phys.CT.Milliseconds()), fmtCT(eq2), fmtCT(eq1),
+func ModelAblation(s Scale) (Table, error) { return modelAblationJobs(s).runSerial() }
+
+// pcommitFieldCounts are the per-object field counts of the §6 contrast.
+var pcommitFieldCounts = []int{2, 4, 8, 16}
+
+// pcommitAblationJobs decomposes the write-model ablation into one job per
+// field count; each runs the serialized-pflush and pcommit variants.
+func pcommitAblationJobs(s Scale) JobSet {
+	js := JobSet{ID: "pcommit"}
+	objects := s.KVOps // reuse the scale knob: one "object" per op
+	for _, fields := range pcommitFieldCounts {
+		js.Jobs = append(js.Jobs, Job{
+			Name:   "fields=" + strconv.Itoa(fields),
+			Params: map[string]string{"fields": strconv.Itoa(fields)},
+			Run: func() (Metrics, error) {
+				run := func(usePCommit bool) (sim.Time, error) {
+					q := quartzConfig(500)
+					q.WriteLatency = sim.FromNanos(500)
+					env, err := bench.NewEnv(bench.EnvConfig{
+						Preset: machine.XeonE5_2660v2, Mode: bench.Emulated, Quartz: q,
+					})
+					if err != nil {
+						return 0, err
+					}
+					var ct sim.Time
+					err = env.Run(func(e *bench.Env, th *simos.Thread) {
+						base, err := e.Emu.PMalloc(uintptr(objects*fields) * 64)
+						if err != nil {
+							th.Failf("pmalloc: %v", err)
+						}
+						start := th.Now()
+						for o := 0; o < objects; o++ {
+							objBase := base + uintptr(o*fields)*64
+							for f := 0; f < fields; f++ {
+								addr := objBase + uintptr(f)*64
+								th.Store(addr)
+								if usePCommit {
+									e.Emu.PFlushOpt(th, addr)
+								} else {
+									e.Emu.PFlush(th, addr)
+								}
+							}
+							if usePCommit {
+								e.Emu.PCommit(th)
+							}
+						}
+						e.CloseEpoch(th)
+						ct = th.Now() - start
+					})
+					return ct, err
+				}
+				serialized, err := run(false)
+				if err != nil {
+					return nil, err
+				}
+				parallel, err := run(true)
+				if err != nil {
+					return nil, err
+				}
+				return Metrics{
+					"pflush_ct_ns":  serialized.Nanoseconds(),
+					"pcommit_ct_ns": parallel.Nanoseconds(),
+				}, nil
+			},
 		})
 	}
-	t.Notes = append(t.Notes, "Eq. 1 ignores MLP and over-delays parallel chains by about the chain count")
-	return t, nil
+	js.Assemble = func(points []Metrics) (Table, error) {
+		t := Table{
+			ID:     "pcommit",
+			Title:  "Serialized pflush vs clflushopt+pcommit write model (§6, Ivy Bridge)",
+			Header: []string{"Fields/object", "pflush CT ms", "pcommit CT ms", "Speedup"},
+		}
+		for i, fields := range pcommitFieldCounts {
+			serialized := points[i]["pflush_ct_ns"]
+			parallel := points[i]["pcommit_ct_ns"]
+			t.Rows = append(t.Rows, []string{
+				strconv.Itoa(fields),
+				f2(serialized / 1e6), f2(parallel / 1e6),
+				f2(serialized / parallel),
+			})
+		}
+		t.Notes = append(t.Notes, "pcommit discounts write delays that complete before the barrier (§6)")
+		return t, nil
+	}
+	return js
 }
 
 // PCommitAblation contrasts the §3.1 serialized pflush write model against
 // the §6 clflushopt+pcommit extension on a persistent-object initialization
 // workload: independent field writes within an object can proceed in
 // parallel under pcommit.
-func PCommitAblation(s Scale) (Table, error) {
-	t := Table{
-		ID:     "pcommit",
-		Title:  "Serialized pflush vs clflushopt+pcommit write model (§6, Ivy Bridge)",
-		Header: []string{"Fields/object", "pflush CT ms", "pcommit CT ms", "Speedup"},
-	}
-	objects := s.KVOps // reuse the scale knob: one "object" per op
-	for _, fields := range []int{2, 4, 8, 16} {
-		run := func(usePCommit bool) (sim.Time, error) {
-			q := quartzConfig(500)
-			q.WriteLatency = sim.FromNanos(500)
-			env, err := bench.NewEnv(bench.EnvConfig{
-				Preset: machine.XeonE5_2660v2, Mode: bench.Emulated, Quartz: q,
-			})
-			if err != nil {
-				return 0, err
-			}
-			var ct sim.Time
-			err = env.Run(func(e *bench.Env, th *simos.Thread) {
-				base, err := e.Emu.PMalloc(uintptr(objects*fields) * 64)
-				if err != nil {
-					th.Failf("pmalloc: %v", err)
-				}
-				start := th.Now()
-				for o := 0; o < objects; o++ {
-					objBase := base + uintptr(o*fields)*64
-					for f := 0; f < fields; f++ {
-						addr := objBase + uintptr(f)*64
-						th.Store(addr)
-						if usePCommit {
-							e.Emu.PFlushOpt(th, addr)
-						} else {
-							e.Emu.PFlush(th, addr)
-						}
+func PCommitAblation(s Scale) (Table, error) { return pcommitAblationJobs(s).runSerial() }
+
+// amortizationTarget is the emulated latency of the carry-over ablation.
+const amortizationTarget = 300.0
+
+// amortizationAblationJobs decomposes the carry-over ablation into one job
+// per amortization setting (on/off).
+func amortizationAblationJobs(s Scale) JobSet {
+	js := JobSet{ID: "amortization"}
+	for _, disabled := range []bool{false, true} {
+		name := "on"
+		if disabled {
+			name = "off"
+		}
+		js.Jobs = append(js.Jobs, Job{
+			Name:   "amortization=" + name,
+			Params: map[string]string{"amortization": name},
+			Run: func() (Metrics, error) {
+				q := quartzConfig(amortizationTarget)
+				q.DisableAmortization = disabled
+				q.MaxEpoch = 500 * sim.Microsecond // frequent epochs make overhead visible
+				var lats []sim.Time
+				for trial := 0; trial < s.Trials; trial++ {
+					res, err := runMemLat(bench.EnvConfig{
+						Preset: machine.XeonE5_2660v2, Mode: bench.Emulated, Quartz: q,
+					}, bench.MemLatConfig{
+						Lines: s.Lines, Chains: 1, Iters: s.MemLatIters, Seed: int64(trial + 31),
+					})
+					if err != nil {
+						return nil, trialErr("amortization", trial, err)
 					}
-					if usePCommit {
-						e.Emu.PCommit(th)
-					}
+					lats = append(lats, res.PerIteration)
 				}
-				e.CloseEpoch(th)
-				ct = th.Now() - start
-			})
-			return ct, err
-		}
-		serialized, err := run(false)
-		if err != nil {
-			return Table{}, err
-		}
-		parallel, err := run(true)
-		if err != nil {
-			return Table{}, err
-		}
-		t.Rows = append(t.Rows, []string{
-			strconv.Itoa(fields),
-			f2(serialized.Milliseconds()), f2(parallel.Milliseconds()),
-			f2(float64(serialized) / float64(parallel)),
+				return Metrics{"mean_ns": stats.Summarize(nanos(lats)).Mean}, nil
+			},
 		})
 	}
-	t.Notes = append(t.Notes, "pcommit discounts write delays that complete before the barrier (§6)")
-	return t, nil
+	js.Assemble = func(points []Metrics) (Table, error) {
+		t := Table{
+			ID:     "amortization",
+			Title:  "Overhead amortization (carry-over) ablation (§3.2, Ivy Bridge)",
+			Header: []string{"Amortization", "Target ns", "Measured ns", "Error"},
+		}
+		for i, label := range []string{"on (paper)", "off"} {
+			mean := points[i]["mean_ns"]
+			t.Rows = append(t.Rows, []string{label, f1(amortizationTarget), f1(mean), pct(stats.RelErr(mean, amortizationTarget))})
+		}
+		return t, nil
+	}
+	return js
 }
 
 // AmortizationAblation contrasts the §3.2 overhead carry-over against a
 // build with amortization disabled, on a latency-bound chase: without
 // discounting, the epoch-processing overhead inflates the emulated latency.
-func AmortizationAblation(s Scale) (Table, error) {
-	t := Table{
-		ID:     "amortization",
-		Title:  "Overhead amortization (carry-over) ablation (§3.2, Ivy Bridge)",
-		Header: []string{"Amortization", "Target ns", "Measured ns", "Error"},
-	}
-	const target = 300.0
-	for _, disabled := range []bool{false, true} {
-		q := quartzConfig(target)
-		q.DisableAmortization = disabled
-		q.MaxEpoch = 500 * sim.Microsecond // frequent epochs make overhead visible
-		var lats []sim.Time
-		for trial := 0; trial < s.Trials; trial++ {
-			res, err := runMemLat(bench.EnvConfig{
-				Preset: machine.XeonE5_2660v2, Mode: bench.Emulated, Quartz: q,
-			}, bench.MemLatConfig{
-				Lines: s.Lines, Chains: 1, Iters: s.MemLatIters, Seed: int64(trial + 31),
-			})
-			if err != nil {
-				return Table{}, trialErr("amortization", trial, err)
-			}
-			lats = append(lats, res.PerIteration)
-		}
-		mean := stats.Summarize(nanos(lats)).Mean
-		label := "on (paper)"
-		if disabled {
-			label = "off"
-		}
-		t.Rows = append(t.Rows, []string{label, f1(target), f1(mean), pct(stats.RelErr(mean, target))})
-	}
-	return t, nil
-}
+func AmortizationAblation(s Scale) (Table, error) { return amortizationAblationJobs(s).runSerial() }

@@ -51,41 +51,69 @@ func kvRun(s Scale, preset machine.Preset, mode bench.Mode, q core.Config, threa
 	return res, err
 }
 
+// fig15Threads are the thread counts of Figure 15.
+var fig15Threads = []int{1, 2, 4, 8}
+
+// fig15Jobs decomposes Figure 15 into one job per (thread count, trial):
+// each runs the paired physically-remote and emulated workloads with the
+// same seed and reports the per-trial throughput errors.
+func fig15Jobs(s Scale) JobSet {
+	js := JobSet{ID: "fig15"}
+	preset := machine.XeonE5_2450
+	for _, threads := range fig15Threads {
+		for trial := 0; trial < s.Trials; trial++ {
+			js.Jobs = append(js.Jobs, Job{
+				Name:   fmt.Sprintf("threads=%d/trial=%d", threads, trial),
+				Params: map[string]string{"threads": strconv.Itoa(threads), "trial": strconv.Itoa(trial)},
+				Run: func() (Metrics, error) {
+					seed := uint64(trial*101 + threads)
+					phys, err := kvRun(s, preset, bench.PhysicalRemote, core.Config{}, threads, seed)
+					if err != nil {
+						return nil, trialErr("fig15 physical", trial, err)
+					}
+					emu, err := kvRun(s, preset, bench.Emulated,
+						quartzConfig(bench.RemoteLatNS(preset)), threads, seed)
+					if err != nil {
+						return nil, trialErr("fig15 emulated", trial, err)
+					}
+					return Metrics{
+						"put_err": stats.RelErr(emu.PutsPerS, phys.PutsPerS),
+						"get_err": stats.RelErr(emu.GetsPerS, phys.GetsPerS),
+					}, nil
+				},
+			})
+		}
+	}
+	js.Assemble = func(points []Metrics) (Table, error) {
+		t := Table{
+			ID:     "fig15",
+			Title:  "KV store (MassTree stand-in) validation errors (Fig. 15, Sandy Bridge)",
+			Header: []string{"Threads", "put/s error", "get/s error"},
+		}
+		i := 0
+		for _, threads := range fig15Threads {
+			var putErrs, getErrs stats.Accumulator
+			for trial := 0; trial < s.Trials; trial++ {
+				putErrs.Add(points[i]["put_err"])
+				getErrs.Add(points[i]["get_err"])
+				i++
+			}
+			t.Rows = append(t.Rows, []string{
+				strconv.Itoa(threads),
+				pct(putErrs.Summary().Mean),
+				pct(getErrs.Summary().Mean),
+			})
+		}
+		t.Notes = append(t.Notes, "paper: 2-8% across 1-8 threads")
+		return t, nil
+	}
+	return js
+}
+
 // Fig15 reproduces Figure 15: the validation error of the key-value store's
 // put/s and get/s throughput for 1-8 threads on Sandy Bridge, comparing
 // Conf_1 (emulated) with Conf_2 (physically remote).
-func Fig15(s Scale) (Table, error) {
-	t := Table{
-		ID:     "fig15",
-		Title:  "KV store (MassTree stand-in) validation errors (Fig. 15, Sandy Bridge)",
-		Header: []string{"Threads", "put/s error", "get/s error"},
-	}
-	preset := machine.XeonE5_2450
-	for _, threads := range []int{1, 2, 4, 8} {
-		var putErrs, getErrs []float64
-		for trial := 0; trial < s.Trials; trial++ {
-			seed := uint64(trial*101 + threads)
-			phys, err := kvRun(s, preset, bench.PhysicalRemote, core.Config{}, threads, seed)
-			if err != nil {
-				return Table{}, trialErr("fig15 physical", trial, err)
-			}
-			emu, err := kvRun(s, preset, bench.Emulated,
-				quartzConfig(bench.RemoteLatNS(preset)), threads, seed)
-			if err != nil {
-				return Table{}, trialErr("fig15 emulated", trial, err)
-			}
-			putErrs = append(putErrs, stats.RelErr(emu.PutsPerS, phys.PutsPerS))
-			getErrs = append(getErrs, stats.RelErr(emu.GetsPerS, phys.GetsPerS))
-		}
-		t.Rows = append(t.Rows, []string{
-			strconv.Itoa(threads),
-			pct(stats.Summarize(putErrs).Mean),
-			pct(stats.Summarize(getErrs).Mean),
-		})
-	}
-	t.Notes = append(t.Notes, "paper: 2-8% across 1-8 threads")
-	return t, nil
-}
+func Fig15(s Scale) (Table, error) { return fig15Jobs(s).runSerial() }
 
 // prRun runs PageRank once in a fresh environment, reporting the kernel CT.
 func prRun(s Scale, mode bench.Mode, q core.Config, seed uint64) (pagerank.Result, error) {
@@ -121,45 +149,67 @@ func prRun(s Scale, mode bench.Mode, q core.Config, seed uint64) (pagerank.Resul
 	return res, err
 }
 
+// pageRankValidationJobs decomposes the §4.7 validation into one job per
+// trial, each running the paired Conf_2/Conf_1 executions with the same
+// seed.
+func pageRankValidationJobs(s Scale) JobSet {
+	js := JobSet{ID: "pagerank-validate"}
+	for trial := 0; trial < s.Trials; trial++ {
+		js.Jobs = append(js.Jobs, Job{
+			Name:   fmt.Sprintf("trial=%d", trial),
+			Params: map[string]string{"trial": strconv.Itoa(trial)},
+			Run: func() (Metrics, error) {
+				seed := uint64(trial + 5)
+				phys, err := prRun(s, bench.PhysicalRemote, core.Config{}, seed)
+				if err != nil {
+					return nil, trialErr("pagerank physical", trial, err)
+				}
+				emu, err := prRun(s, bench.Emulated, quartzConfig(bench.RemoteLatNS(machine.XeonE5_2450)), seed)
+				if err != nil {
+					return nil, trialErr("pagerank emulated", trial, err)
+				}
+				return Metrics{
+					"phys_ct_ns": phys.CT.Nanoseconds(),
+					"emu_ct_ns":  emu.CT.Nanoseconds(),
+				}, nil
+			},
+		})
+	}
+	js.Assemble = func(points []Metrics) (Table, error) {
+		t := Table{
+			ID:     "pagerank-validate",
+			Title:  "PageRank validation, Conf_1 vs Conf_2 (§4.7, Sandy Bridge)",
+			Header: []string{"Conf_2 CT ms", "Conf_1 CT ms", "Error"},
+		}
+		var physs, emus stats.Accumulator
+		for _, p := range points {
+			physs.Add(p["phys_ct_ns"])
+			emus.Add(p["emu_ct_ns"])
+		}
+		pm := physs.Summary().Mean
+		em := emus.Summary().Mean
+		t.Rows = append(t.Rows, []string{f2(pm / 1e6), f2(em / 1e6), pct(stats.RelErr(em, pm))})
+		t.Notes = append(t.Notes, "paper: 2.9% on Sandy Bridge")
+		return t, nil
+	}
+	return js
+}
+
 // PageRankValidation reproduces the §4.7 PageRank validation number: the
 // error between emulated and physically-remote completion times (the paper
 // reports 2.9% on Sandy Bridge).
-func PageRankValidation(s Scale) (Table, error) {
-	t := Table{
-		ID:     "pagerank-validate",
-		Title:  "PageRank validation, Conf_1 vs Conf_2 (§4.7, Sandy Bridge)",
-		Header: []string{"Conf_2 CT ms", "Conf_1 CT ms", "Error"},
-	}
-	var physs, emus []sim.Time
-	for trial := 0; trial < s.Trials; trial++ {
-		seed := uint64(trial + 5)
-		phys, err := prRun(s, bench.PhysicalRemote, core.Config{}, seed)
-		if err != nil {
-			return Table{}, trialErr("pagerank physical", trial, err)
-		}
-		emu, err := prRun(s, bench.Emulated, quartzConfig(bench.RemoteLatNS(machine.XeonE5_2450)), seed)
-		if err != nil {
-			return Table{}, trialErr("pagerank emulated", trial, err)
-		}
-		physs = append(physs, phys.CT)
-		emus = append(emus, emu.CT)
-	}
-	pm := stats.Summarize(nanos(physs)).Mean
-	em := stats.Summarize(nanos(emus)).Mean
-	t.Rows = append(t.Rows, []string{f2(pm / 1e6), f2(em / 1e6), pct(stats.RelErr(em, pm))})
-	t.Notes = append(t.Notes, "paper: 2.9% on Sandy Bridge")
-	return t, nil
+func PageRankValidation(s Scale) (Table, error) { return pageRankValidationJobs(s).runSerial() }
+
+// fig16Point is one sweep point of Figure 16: a label plus the emulator
+// configuration it evaluates.
+type fig16Point struct {
+	sweep   string // "baseline", "latency" or "bandwidth"
+	setting string
+	q       core.Config
 }
 
-// Fig16 reproduces Figure 16: PageRank completion time and KV-store
-// throughput sensitivity to emulated NVM latency and bandwidth (Sandy
-// Bridge; emulator-only predictions, as in the paper).
-func Fig16(s Scale) (Table, error) {
-	t := Table{
-		ID:     "fig16",
-		Title:  "Application sensitivity to NVM latency and bandwidth (Fig. 16, Sandy Bridge)",
-		Header: []string{"Sweep", "Setting", "PageRank CT ms (x base)", "KV ops/s (frac of base)"},
-	}
+// fig16Points builds the Figure 16 sweep grid at scale s, baseline first.
+func fig16Points(s Scale) []fig16Point {
 	localNS := machine.PresetConfig(machine.XeonE5_2450).LocalLat.Nanoseconds()
 
 	latPoints := []float64{100, 200, 300, 500, 1000, 2000}
@@ -169,53 +219,85 @@ func Fig16(s Scale) (Table, error) {
 		bwPoints = []float64{5e9, 1.5e9, 0.5e9}
 	}
 
-	run := func(q core.Config) (float64, float64, error) {
-		pr, err := prRun(s, bench.Emulated, q, 5)
-		if err != nil {
-			return 0, 0, err
-		}
-		kv, err := kvRun(s, machine.XeonE5_2450, bench.Emulated, q, 4, 5)
-		if err != nil {
-			return 0, 0, err
-		}
-		return pr.CT.Milliseconds(), kv.PutsPerS + kv.GetsPerS, nil
-	}
-
-	// Baseline: DRAM speed (no added latency, full bandwidth).
-	base := quartzConfig(localNS)
-	basePR, baseKV, err := run(base)
-	if err != nil {
-		return Table{}, fmt.Errorf("fig16 baseline: %w", err)
-	}
-	t.Rows = append(t.Rows, []string{"baseline", "DRAM", f2(basePR) + " (1.00x)", fmt.Sprintf("%.0f (1.00)", baseKV)})
-
+	points := []fig16Point{{sweep: "baseline", setting: "DRAM", q: quartzConfig(localNS)}}
 	for _, lat := range latPoints {
-		q := quartzConfig(lat)
-		pr, kv, err := run(q)
-		if err != nil {
-			return Table{}, fmt.Errorf("fig16 latency %v: %w", lat, err)
-		}
-		t.Rows = append(t.Rows, []string{
-			"latency", fmt.Sprintf("%.0fns", lat),
-			fmt.Sprintf("%.2f (%.2fx)", pr, pr/basePR),
-			fmt.Sprintf("%.0f (%.2f)", kv, kv/baseKV),
+		points = append(points, fig16Point{
+			sweep: "latency", setting: fmt.Sprintf("%.0fns", lat), q: quartzConfig(lat),
 		})
 	}
 	for _, bw := range bwPoints {
 		q := quartzConfig(localNS)
 		q.NVMBandwidth = bw
-		pr, kv, err := run(q)
-		if err != nil {
-			return Table{}, fmt.Errorf("fig16 bandwidth %v: %w", bw, err)
-		}
-		t.Rows = append(t.Rows, []string{
-			"bandwidth", fmt.Sprintf("%.1fGB/s", bw/1e9),
-			fmt.Sprintf("%.2f (%.2fx)", pr, pr/basePR),
-			fmt.Sprintf("%.0f (%.2f)", kv, kv/baseKV),
+		points = append(points, fig16Point{
+			sweep: "bandwidth", setting: fmt.Sprintf("%.1fGB/s", bw/1e9), q: q,
 		})
 	}
-	t.Notes = append(t.Notes,
-		"paper: at 200ns PageRank CT ~unchanged, KV throughput -15%; at 2us both degrade ~5x",
-		"paper: bandwidth matters only below ~3GB/s (PageRank) / ~1.5GB/s (KV)")
-	return t, nil
+	return points
 }
+
+// fig16Jobs decomposes Figure 16 into two jobs per sweep point — the
+// PageRank run and the KV-store run — so both applications sweep
+// concurrently; the assembler normalizes every point against the baseline
+// jobs.
+func fig16Jobs(s Scale) JobSet {
+	js := JobSet{ID: "fig16"}
+	points := fig16Points(s)
+	for _, pt := range points {
+		js.Jobs = append(js.Jobs,
+			Job{
+				Name:   pt.sweep + "=" + pt.setting + "/pagerank",
+				Params: map[string]string{"sweep": pt.sweep, "setting": pt.setting, "app": "pagerank"},
+				Run: func() (Metrics, error) {
+					pr, err := prRun(s, bench.Emulated, pt.q, 5)
+					if err != nil {
+						return nil, fmt.Errorf("fig16 %s %s: %w", pt.sweep, pt.setting, err)
+					}
+					return Metrics{"pr_ct_ms": pr.CT.Milliseconds()}, nil
+				},
+			},
+			Job{
+				Name:   pt.sweep + "=" + pt.setting + "/kvstore",
+				Params: map[string]string{"sweep": pt.sweep, "setting": pt.setting, "app": "kvstore"},
+				Run: func() (Metrics, error) {
+					kv, err := kvRun(s, machine.XeonE5_2450, bench.Emulated, pt.q, 4, 5)
+					if err != nil {
+						return nil, fmt.Errorf("fig16 %s %s: %w", pt.sweep, pt.setting, err)
+					}
+					return Metrics{"kv_ops": kv.PutsPerS + kv.GetsPerS}, nil
+				},
+			},
+		)
+	}
+	js.Assemble = func(pointsM []Metrics) (Table, error) {
+		t := Table{
+			ID:     "fig16",
+			Title:  "Application sensitivity to NVM latency and bandwidth (Fig. 16, Sandy Bridge)",
+			Header: []string{"Sweep", "Setting", "PageRank CT ms (x base)", "KV ops/s (frac of base)"},
+		}
+		basePR := pointsM[0]["pr_ct_ms"]
+		baseKV := pointsM[1]["kv_ops"]
+		t.Rows = append(t.Rows, []string{"baseline", "DRAM", f2(basePR) + " (1.00x)", fmt.Sprintf("%.0f (1.00)", baseKV)})
+		for i, pt := range points {
+			if i == 0 {
+				continue
+			}
+			pr := pointsM[2*i]["pr_ct_ms"]
+			kv := pointsM[2*i+1]["kv_ops"]
+			t.Rows = append(t.Rows, []string{
+				pt.sweep, pt.setting,
+				fmt.Sprintf("%.2f (%.2fx)", pr, pr/basePR),
+				fmt.Sprintf("%.0f (%.2f)", kv, kv/baseKV),
+			})
+		}
+		t.Notes = append(t.Notes,
+			"paper: at 200ns PageRank CT ~unchanged, KV throughput -15%; at 2us both degrade ~5x",
+			"paper: bandwidth matters only below ~3GB/s (PageRank) / ~1.5GB/s (KV)")
+		return t, nil
+	}
+	return js
+}
+
+// Fig16 reproduces Figure 16: PageRank completion time and KV-store
+// throughput sensitivity to emulated NVM latency and bandwidth (Sandy
+// Bridge; emulator-only predictions, as in the paper).
+func Fig16(s Scale) (Table, error) { return fig16Jobs(s).runSerial() }

@@ -72,6 +72,49 @@ var Full = Scale{
 	PRIters:          10,
 }
 
+// Metrics is the flat numeric result of one job, keyed by metric name
+// (latencies in nanoseconds, bandwidths in bytes/s, errors as fractions).
+type Metrics map[string]float64
+
+// Job is one independent, deterministic unit of an experiment: a single
+// sweep point (one latency target, one chain count, one trial group, ...).
+// Jobs of the same experiment share no state, seed their simulations
+// explicitly, and may therefore run in any order or concurrently.
+type Job struct {
+	// Name identifies the sweep point within the experiment, e.g.
+	// "Ivy Bridge/target=500".
+	Name string
+	// Params describes the sweep point for structured result sinks.
+	Params map[string]string
+	// Run computes the point.
+	Run func() (Metrics, error)
+}
+
+// JobSet is one experiment decomposed into independent jobs plus the
+// assembler that merges their results into the final table. Assemble is pure
+// aggregation and formatting over the per-job metrics (indexed exactly as
+// Jobs), so the table is byte-identical however the jobs were scheduled. A
+// set may have zero jobs when the artifact is static (table1).
+type JobSet struct {
+	ID       string
+	Jobs     []Job
+	Assemble func(points []Metrics) (Table, error)
+}
+
+// runSerial executes the set's jobs in order in the calling goroutine — the
+// parallelism-1 special case of internal/runner.
+func (js JobSet) runSerial() (Table, error) {
+	points := make([]Metrics, len(js.Jobs))
+	for i, j := range js.Jobs {
+		m, err := j.Run()
+		if err != nil {
+			return Table{}, fmt.Errorf("%s: %w", j.Name, err)
+		}
+		points[i] = m
+	}
+	return js.Assemble(points)
+}
+
 // Table is a rendered experiment result.
 type Table struct {
 	ID     string // e.g. "fig11"

@@ -47,6 +47,54 @@ func TestRunUnknownExperiment(t *testing.T) {
 	if _, err := Run("fig99", tiny); err == nil {
 		t.Error("unknown experiment accepted")
 	}
+	if _, err := Jobs("fig99", tiny); err == nil {
+		t.Error("unknown experiment accepted by Jobs")
+	}
+	if _, err := Describe("fig99"); err == nil {
+		t.Error("unknown experiment accepted by Describe")
+	}
+	if Known("fig99") {
+		t.Error("Known(fig99) = true")
+	}
+}
+
+// TestJobsDecomposition checks the structural contract of every registered
+// decomposition: matching set id, unique job names, an assembler, a
+// description, and — for everything but the static table1 — at least one
+// job so the runner has parallelism to exploit.
+func TestJobsDecomposition(t *testing.T) {
+	for _, id := range All() {
+		if !Known(id) {
+			t.Errorf("All lists %q but Known rejects it", id)
+		}
+		desc, err := Describe(id)
+		if err != nil || desc == "" {
+			t.Errorf("%s: missing description (%v)", id, err)
+		}
+		js, err := Jobs(id, tiny)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if js.ID != id {
+			t.Errorf("%s: job set id = %q", id, js.ID)
+		}
+		if js.Assemble == nil {
+			t.Errorf("%s: no assembler", id)
+		}
+		if id != "table1" && len(js.Jobs) == 0 {
+			t.Errorf("%s: no jobs", id)
+		}
+		seen := map[string]bool{}
+		for _, j := range js.Jobs {
+			if j.Name == "" || seen[j.Name] {
+				t.Errorf("%s: duplicate or empty job name %q", id, j.Name)
+			}
+			seen[j.Name] = true
+			if j.Run == nil {
+				t.Errorf("%s/%s: nil Run", id, j.Name)
+			}
+		}
+	}
 }
 
 func TestTable1MatchesPaper(t *testing.T) {

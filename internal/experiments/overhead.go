@@ -11,94 +11,135 @@ import (
 	"github.com/quartz-emu/quartz/internal/stats"
 )
 
+// overheadModes are the two measured executions of the §3.2 switched-off
+// overhead comparison.
+var overheadModes = []struct {
+	name string
+	mode bench.Mode
+}{
+	{"native", bench.Native},
+	{"switched-off", bench.Emulated},
+}
+
+// overheadJobs decomposes the §3.2 overhead accounting into one job per
+// measured execution (the static cycle-cost rows come from constants and
+// need no job).
+func overheadJobs(s Scale) JobSet {
+	js := JobSet{ID: "overhead"}
+	for _, m := range overheadModes {
+		var q core.Config
+		if m.mode == bench.Emulated {
+			q = quartzConfig(800)
+			q.InjectionOff = true
+		}
+		js.Jobs = append(js.Jobs, Job{
+			Name:   m.name,
+			Params: map[string]string{"mode": m.name},
+			Run: func() (Metrics, error) {
+				var cts []sim.Time
+				for trial := 0; trial < s.Trials; trial++ {
+					res, err := runMemLat(bench.EnvConfig{
+						Preset: machine.XeonE5_2660v2, Mode: m.mode, Quartz: q,
+					}, bench.MemLatConfig{
+						Lines: s.Lines, Chains: 1, Iters: s.MemLatIters, Seed: int64(trial + 9),
+					})
+					if err != nil {
+						return nil, trialErr("overhead", trial, err)
+					}
+					cts = append(cts, res.CT)
+				}
+				return Metrics{"ct_ns": stats.Summarize(nanos(cts)).Mean}, nil
+			},
+		})
+	}
+	js.Assemble = func(points []Metrics) (Table, error) {
+		t := Table{
+			ID:     "overhead",
+			Title:  "Emulator overhead accounting (§3.2)",
+			Header: []string{"Quantity", "Measured", "Paper"},
+		}
+		t.Rows = append(t.Rows,
+			[]string{"library initialization", fmt.Sprintf("%d cycles", core.DefaultInitCycles), "~5.5e9 cycles (2.5s at 2.2GHz)"},
+			[]string{"thread registration", fmt.Sprintf("%d cycles", core.DefaultRegisterCycles), "~300,000 cycles"},
+			[]string{"epoch cost (rdpmc, 4 ctrs)", fmt.Sprintf("%d cycles", perf.ReadCostCycles(perf.RDPMC, 4)+core.DefaultEpochLogicCycles), "~4,000 cycles"},
+			[]string{"epoch cost (PAPI, 4 ctrs)", fmt.Sprintf("%d cycles", perf.ReadCostCycles(perf.PAPI, 4)+core.DefaultEpochLogicCycles), "~30,000 cycles"},
+		)
+		native := sim.FromNanos(points[0]["ct_ns"])
+		switched := sim.FromNanos(points[1]["ct_ns"])
+		t.Rows = append(t.Rows, []string{
+			"epoch-creation overhead (switched-off injection)",
+			pct(stats.SignedErr(float64(switched), float64(native))),
+			"<4% for tuned epochs",
+		})
+		return t, nil
+	}
+	return js
+}
+
 // Overhead reproduces the §3.2 overhead numbers: initialization and
 // per-thread registration costs, epoch processing cost under rdpmc versus
 // PAPI-style counter access, and the end-to-end emulator overhead measured
 // with switched-off delay injection.
-func Overhead(s Scale) (Table, error) {
-	t := Table{
-		ID:     "overhead",
-		Title:  "Emulator overhead accounting (§3.2)",
-		Header: []string{"Quantity", "Measured", "Paper"},
-	}
-	t.Rows = append(t.Rows,
-		[]string{"library initialization", fmt.Sprintf("%d cycles", core.DefaultInitCycles), "~5.5e9 cycles (2.5s at 2.2GHz)"},
-		[]string{"thread registration", fmt.Sprintf("%d cycles", core.DefaultRegisterCycles), "~300,000 cycles"},
-		[]string{"epoch cost (rdpmc, 4 ctrs)", fmt.Sprintf("%d cycles", perf.ReadCostCycles(perf.RDPMC, 4)+core.DefaultEpochLogicCycles), "~4,000 cycles"},
-		[]string{"epoch cost (PAPI, 4 ctrs)", fmt.Sprintf("%d cycles", perf.ReadCostCycles(perf.PAPI, 4)+core.DefaultEpochLogicCycles), "~30,000 cycles"},
-	)
+func Overhead(s Scale) (Table, error) { return overheadJobs(s).runSerial() }
 
-	// Switched-off-injection overhead: MemLat CT with epoch machinery but
-	// no delays versus a native run.
-	measure := func(mode bench.Mode, q core.Config) (sim.Time, error) {
-		var cts []sim.Time
-		for trial := 0; trial < s.Trials; trial++ {
-			res, err := runMemLat(bench.EnvConfig{
-				Preset: machine.XeonE5_2660v2, Mode: mode, Quartz: q,
-			}, bench.MemLatConfig{
-				Lines: s.Lines, Chains: 1, Iters: s.MemLatIters, Seed: int64(trial + 9),
-			})
-			if err != nil {
-				return 0, trialErr("overhead", trial, err)
-			}
-			cts = append(cts, res.CT)
+// epochSizeMaxEpochs are the maximum-epoch settings of footnote 4.
+var epochSizeMaxEpochs = []sim.Time{sim.Millisecond, 10 * sim.Millisecond, 100 * sim.Millisecond}
+
+// epochSizeTarget is the emulated latency of the footnote 4 study.
+const epochSizeTarget = 500.0
+
+// epochSizeJobs decomposes the footnote 4 study into one job per maximum
+// epoch setting.
+func epochSizeJobs(s Scale) JobSet {
+	js := JobSet{ID: "epoch-size"}
+	for _, maxEpoch := range epochSizeMaxEpochs {
+		js.Jobs = append(js.Jobs, Job{
+			Name:   "max-epoch=" + maxEpoch.String(),
+			Params: map[string]string{"max_epoch": maxEpoch.String()},
+			Run: func() (Metrics, error) {
+				var lats []sim.Time
+				for trial := 0; trial < s.Trials; trial++ {
+					q := quartzConfig(epochSizeTarget)
+					q.MaxEpoch = maxEpoch
+					q.MonitorInterval = maxEpoch / 2
+					res, err := runMemLatNoFinalClose(bench.EnvConfig{
+						Preset: machine.XeonE5_2660v2, Mode: bench.Emulated, Quartz: q,
+					}, bench.MemLatConfig{
+						Lines: s.Lines, Chains: 1, Iters: s.MemLatIters, Seed: int64(trial + 3),
+					})
+					if err != nil {
+						return nil, trialErr("epoch-size", trial, err)
+					}
+					lats = append(lats, res.PerIteration)
+				}
+				return Metrics{"mean_ns": stats.Summarize(nanos(lats)).Mean}, nil
+			},
+		})
+	}
+	js.Assemble = func(points []Metrics) (Table, error) {
+		t := Table{
+			ID:     "epoch-size",
+			Title:  "MemLat accuracy vs maximum epoch size (footnote 4, Ivy Bridge)",
+			Header: []string{"Max epoch", "Target ns", "Measured ns", "Error"},
 		}
-		return sim.FromNanos(stats.Summarize(nanos(cts)).Mean), nil
+		for i, maxEpoch := range epochSizeMaxEpochs {
+			mean := points[i]["mean_ns"]
+			t.Rows = append(t.Rows, []string{
+				maxEpoch.String(), f1(epochSizeTarget), f1(mean), pct(stats.RelErr(mean, epochSizeTarget)),
+			})
+		}
+		t.Notes = append(t.Notes,
+			"accuracy degrades with very large epochs (delay lands after the measurement window); 1-10ms are accurate",
+			"the run is measured as an application would measure itself, without flushing the final epoch")
+		return t, nil
 	}
-	native, err := measure(bench.Native, core.Config{})
-	if err != nil {
-		return Table{}, err
-	}
-	off := quartzConfig(800)
-	off.InjectionOff = true
-	switched, err := measure(bench.Emulated, off)
-	if err != nil {
-		return Table{}, err
-	}
-	t.Rows = append(t.Rows, []string{
-		"epoch-creation overhead (switched-off injection)",
-		pct(stats.SignedErr(float64(switched), float64(native))),
-		"<4% for tuned epochs",
-	})
-	return t, nil
+	return js
 }
 
 // EpochSize reproduces the paper's footnote 4: emulation accuracy as a
 // function of the maximum epoch size (1, 10, 100 ms) — accuracy degrades
 // with very large epochs.
-func EpochSize(s Scale) (Table, error) {
-	t := Table{
-		ID:     "epoch-size",
-		Title:  "MemLat accuracy vs maximum epoch size (footnote 4, Ivy Bridge)",
-		Header: []string{"Max epoch", "Target ns", "Measured ns", "Error"},
-	}
-	const target = 500.0
-	for _, maxEpoch := range []sim.Time{sim.Millisecond, 10 * sim.Millisecond, 100 * sim.Millisecond} {
-		var lats []sim.Time
-		for trial := 0; trial < s.Trials; trial++ {
-			q := quartzConfig(target)
-			q.MaxEpoch = maxEpoch
-			q.MonitorInterval = maxEpoch / 2
-			res, err := runMemLatNoFinalClose(bench.EnvConfig{
-				Preset: machine.XeonE5_2660v2, Mode: bench.Emulated, Quartz: q,
-			}, bench.MemLatConfig{
-				Lines: s.Lines, Chains: 1, Iters: s.MemLatIters, Seed: int64(trial + 3),
-			})
-			if err != nil {
-				return Table{}, trialErr("epoch-size", trial, err)
-			}
-			lats = append(lats, res.PerIteration)
-		}
-		sum := stats.Summarize(nanos(lats))
-		t.Rows = append(t.Rows, []string{
-			maxEpoch.String(), f1(target), f1(sum.Mean), pct(stats.RelErr(sum.Mean, target)),
-		})
-	}
-	t.Notes = append(t.Notes,
-		"accuracy degrades with very large epochs (delay lands after the measurement window); 1-10ms are accurate",
-		"the run is measured as an application would measure itself, without flushing the final epoch")
-	return t, nil
-}
+func EpochSize(s Scale) (Table, error) { return epochSizeJobs(s).runSerial() }
 
 // runMemLatNoFinalClose is runMemLat without the final CloseEpoch: it
 // measures the way an uninstrumented application would, which is exactly

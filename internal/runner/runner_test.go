@@ -1,0 +1,266 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// okJob returns a job that yields {"v": v}.
+func okJob(id string, v float64) Job {
+	return Job{
+		ID: id, Experiment: "test",
+		Fn: func(context.Context) (map[string]float64, error) {
+			return map[string]float64{"v": v}, nil
+		},
+	}
+}
+
+func TestResultsIndexedBySubmissionOrder(t *testing.T) {
+	var jobs []Job
+	for i := 0; i < 50; i++ {
+		jobs = append(jobs, okJob(fmt.Sprintf("job-%d", i), float64(i)))
+	}
+	results, err := Run(context.Background(), Config{Workers: 8}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(results), len(jobs))
+	}
+	for i, r := range results {
+		if r.JobID != jobs[i].ID {
+			t.Errorf("result %d is %q, want %q", i, r.JobID, jobs[i].ID)
+		}
+		if r.Status != StatusOK || r.Metrics["v"] != float64(i) {
+			t.Errorf("result %d: status %s metrics %v", i, r.Status, r.Metrics)
+		}
+		if r.Attempts != 1 {
+			t.Errorf("result %d: attempts = %d, want 1", i, r.Attempts)
+		}
+	}
+}
+
+// TestPanicBecomesFailedJobRecord: a crashed job must become a failed-job
+// record — with the panic message preserved — while the rest of the suite
+// completes untouched.
+func TestPanicBecomesFailedJobRecord(t *testing.T) {
+	jobs := []Job{
+		okJob("before", 1),
+		{
+			ID: "boom", Experiment: "test",
+			Fn: func(context.Context) (map[string]float64, error) {
+				panic("simulated sim crash")
+			},
+		},
+		okJob("after", 2),
+	}
+	results, err := Run(context.Background(), Config{Workers: 2}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[1].Status != StatusFailed {
+		t.Fatalf("panicking job status = %s, want %s", results[1].Status, StatusFailed)
+	}
+	if !strings.Contains(results[1].Err, "simulated sim crash") {
+		t.Errorf("panic message lost: %q", results[1].Err)
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Status != StatusOK {
+			t.Errorf("job %s did not survive the sibling panic: %s", results[i].JobID, results[i].Status)
+		}
+	}
+}
+
+func TestBoundedRetries(t *testing.T) {
+	var calls atomic.Int64
+	flaky := Job{
+		ID: "flaky", Experiment: "test",
+		Fn: func(context.Context) (map[string]float64, error) {
+			if calls.Add(1) < 3 {
+				return nil, errors.New("transient")
+			}
+			return map[string]float64{"v": 7}, nil
+		},
+	}
+	results, err := Run(context.Background(), Config{Workers: 1, Retries: 2}, []Job{flaky})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Status != StatusOK {
+		t.Fatalf("status = %s (%s), want ok after retries", results[0].Status, results[0].Err)
+	}
+	if results[0].Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", results[0].Attempts)
+	}
+
+	calls.Store(0)
+	results, err = Run(context.Background(), Config{Workers: 1, Retries: 1}, []Job{flaky})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Status != StatusFailed {
+		t.Fatalf("status = %s, want failed once retries are exhausted", results[0].Status)
+	}
+	if results[0].Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", results[0].Attempts)
+	}
+}
+
+// TestPerJobTimeout: a hung job is recorded as timed out (not retried) and
+// does not stall its siblings.
+func TestPerJobTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	jobs := []Job{
+		{
+			ID: "hang", Experiment: "test",
+			Fn: func(context.Context) (map[string]float64, error) {
+				<-release
+				return nil, nil
+			},
+		},
+		okJob("quick", 1),
+	}
+	results, err := Run(context.Background(), Config{Workers: 2, Timeout: 20 * time.Millisecond, Retries: 3}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Status != StatusTimeout {
+		t.Fatalf("hung job status = %s, want %s", results[0].Status, StatusTimeout)
+	}
+	if results[0].Attempts != 1 {
+		t.Errorf("timed-out job was retried: attempts = %d", results[0].Attempts)
+	}
+	if results[1].Status != StatusOK {
+		t.Errorf("sibling job status = %s", results[1].Status)
+	}
+}
+
+// TestCancellationDrainsWorkers: canceling mid-suite must mark the pending
+// jobs canceled and return a full result set without deadlocking.
+func TestCancellationDrainsWorkers(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	var jobs []Job
+	jobs = append(jobs, Job{
+		ID: "first", Experiment: "test",
+		Fn: func(context.Context) (map[string]float64, error) {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			return map[string]float64{"v": 1}, nil
+		},
+	})
+	for i := 0; i < 30; i++ {
+		jobs = append(jobs, Job{
+			ID: fmt.Sprintf("pending-%d", i), Experiment: "test",
+			Fn: func(ctx context.Context) (map[string]float64, error) {
+				<-ctx.Done() // simulate a ctx-aware long job
+				return nil, ctx.Err()
+			},
+		})
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	done := make(chan []Result, 1)
+	go func() {
+		results, _ := Run(ctx, Config{Workers: 4}, jobs)
+		done <- results
+	}()
+	select {
+	case results := <-done:
+		if len(results) != len(jobs) {
+			t.Fatalf("got %d results, want %d", len(results), len(jobs))
+		}
+		var canceledN int
+		for _, r := range results {
+			if r.Status == StatusCanceled {
+				canceledN++
+			}
+			if r.Status == "" {
+				t.Errorf("job %s has no recorded status", r.JobID)
+			}
+		}
+		if canceledN == 0 {
+			t.Error("no jobs recorded as canceled after mid-suite cancellation")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not drain workers after cancellation")
+	}
+}
+
+func TestSinkWritesJSONLRecords(t *testing.T) {
+	var buf bytes.Buffer
+	jobs := []Job{
+		okJob("a", 1),
+		{
+			ID: "b", Experiment: "test", Params: map[string]string{"point": "x"},
+			Fn: func(context.Context) (map[string]float64, error) {
+				return nil, errors.New("kaput")
+			},
+		},
+	}
+	if _, err := Run(context.Background(), Config{Workers: 2, Sink: NewSink(&buf)}, jobs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("sink wrote %d lines, want 2: %q", len(lines), buf.String())
+	}
+	byJob := map[string]record{}
+	for _, line := range lines {
+		var rec record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("unparseable JSONL line %q: %v", line, err)
+		}
+		byJob[rec.Job] = rec
+	}
+	if a := byJob["a"]; a.Status != StatusOK || a.Metrics["v"] != 1 || a.Experiment != "test" {
+		t.Errorf("record a = %+v", a)
+	}
+	if b := byJob["b"]; b.Status != StatusFailed || !strings.Contains(b.Error, "kaput") || b.Params["point"] != "x" {
+		t.Errorf("record b = %+v", b)
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	var last Progress
+	var callsN int
+	jobs := []Job{okJob("a", 1), okJob("b", 2), {
+		ID: "c", Experiment: "test",
+		Fn: func(context.Context) (map[string]float64, error) { return nil, errors.New("no") },
+	}}
+	_, err := Run(context.Background(), Config{Workers: 1, OnProgress: func(p Progress) {
+		callsN++
+		last = p
+	}}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if callsN != 3 {
+		t.Errorf("progress called %d times, want 3", callsN)
+	}
+	if last.Done != 3 || last.Total != 3 || last.Failed != 1 {
+		t.Errorf("final progress = %+v", last)
+	}
+}
+
+func TestZeroJobs(t *testing.T) {
+	results, err := Run(context.Background(), Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("got %d results for zero jobs", len(results))
+	}
+}

@@ -51,6 +51,77 @@ func (s Summary) String() string {
 	return fmt.Sprintf("mean=%.4g min=%.4g max=%.4g sd=%.3g n=%d", s.Mean, s.Min, s.Max, s.Stddev, s.N)
 }
 
+// Accumulator is a merge-friendly streaming summary: samples are added one
+// at a time (or whole accumulators merged), without retaining them. Mean,
+// min and max match Summarize exactly for the same insertion order; the
+// variance uses Welford/Chan updates and can differ from Summarize's
+// two-pass result by floating-point rounding.
+type Accumulator struct {
+	n        int
+	sum      float64
+	min, max float64
+	mean, m2 float64 // Welford running mean and sum of squared deviations
+}
+
+// Add folds one sample into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	if a.n == 0 {
+		a.min, a.max = math.Inf(1), math.Inf(-1)
+	}
+	a.n++
+	a.sum += x
+	if x < a.min {
+		a.min = x
+	}
+	if x > a.max {
+		a.max = x
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// Merge folds another accumulator into a (Chan et al.'s parallel variance
+// combination), so per-worker partial summaries reduce to the whole-sample
+// summary.
+func (a *Accumulator) Merge(b Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	n := float64(a.n + b.n)
+	d := b.mean - a.mean
+	a.mean += d * float64(b.n) / n
+	a.m2 += b.m2 + d*d*float64(a.n)*float64(b.n)/n
+	a.n += b.n
+	a.sum += b.sum
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+}
+
+// N reports the number of samples added.
+func (a Accumulator) N() int { return a.n }
+
+// Summary finalizes the accumulated statistics. An empty accumulator yields
+// a zero Summary, as Summarize does for an empty sample.
+func (a Accumulator) Summary() Summary {
+	if a.n == 0 {
+		return Summary{}
+	}
+	s := Summary{N: a.n, Mean: a.sum / float64(a.n), Min: a.min, Max: a.max}
+	if a.n > 1 {
+		s.Stddev = math.Sqrt(a.m2 / float64(a.n-1))
+	}
+	return s
+}
+
 // RelErr reports |got-want|/|want| (0 when want is 0 and got is 0; +Inf when
 // only want is 0).
 func RelErr(got, want float64) float64 {

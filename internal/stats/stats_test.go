@@ -107,3 +107,86 @@ func TestSummaryBoundsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAccumulatorMatchesSummarize(t *testing.T) {
+	xs := []float64{4.5, -1, 0, 12.25, 3, 3, 8.75}
+	var a Accumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	want := Summarize(xs)
+	got := a.Summary()
+	if a.N() != len(xs) || got.N != want.N || got.Mean != want.Mean ||
+		got.Min != want.Min || got.Max != want.Max {
+		t.Errorf("accumulator summary = %+v, want %+v", got, want)
+	}
+	if math.Abs(got.Stddev-want.Stddev) > 1e-12*want.Stddev {
+		t.Errorf("stddev = %g, want %g", got.Stddev, want.Stddev)
+	}
+}
+
+func TestAccumulatorEmptyAndSingle(t *testing.T) {
+	var a Accumulator
+	if s := a.Summary(); s != (Summary{}) {
+		t.Errorf("empty accumulator summary = %+v", s)
+	}
+	a.Add(7)
+	if s := a.Summary(); s.N != 1 || s.Mean != 7 || s.Min != 7 || s.Max != 7 || s.Stddev != 0 {
+		t.Errorf("single accumulator summary = %+v", s)
+	}
+}
+
+func TestAccumulatorMerge(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	for split := 0; split <= len(xs); split++ {
+		var lo, hi Accumulator
+		for _, x := range xs[:split] {
+			lo.Add(x)
+		}
+		for _, x := range xs[split:] {
+			hi.Add(x)
+		}
+		lo.Merge(hi)
+		want := Summarize(xs)
+		got := lo.Summary()
+		if got.N != want.N || math.Abs(got.Mean-want.Mean) > 1e-12 ||
+			got.Min != want.Min || got.Max != want.Max ||
+			math.Abs(got.Stddev-want.Stddev) > 1e-12 {
+			t.Errorf("split %d: merged summary = %+v, want %+v", split, got, want)
+		}
+	}
+}
+
+func TestAccumulatorMergeProperty(t *testing.T) {
+	// Bound magnitudes: near math.MaxFloat64 the running sums overflow
+	// differently depending on addition order, which isn't the property
+	// under test.
+	ok := func(x float64) bool { return !math.IsNaN(x) && math.Abs(x) < 1e100 }
+	f := func(a, b []float64) bool {
+		var whole, left, right Accumulator
+		for _, x := range a {
+			if !ok(x) {
+				return true
+			}
+			whole.Add(x)
+			left.Add(x)
+		}
+		for _, x := range b {
+			if !ok(x) {
+				return true
+			}
+			whole.Add(x)
+			right.Add(x)
+		}
+		left.Merge(right)
+		w, m := whole.Summary(), left.Summary()
+		if w.N != m.N || w.Min != m.Min || w.Max != m.Max {
+			return false
+		}
+		scale := math.Max(1, math.Abs(w.Mean))
+		return math.Abs(w.Mean-m.Mean) <= 1e-9*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
