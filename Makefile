@@ -1,9 +1,11 @@
 # Build/test/bench entry points. `make` runs vet + race tests (the tier-1
-# gate plus the race detector over the parallel runner).
+# gate plus the race detector over the parallel runner); `make ci` adds the
+# documentation and formatting checks.
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: all build vet test bench-quick bench full-results
+.PHONY: all build vet test bench-quick bench full-results docs-check ci
 
 all: vet test
 
@@ -15,6 +17,17 @@ vet:
 
 test:
 	$(GO) test -race ./...
+
+# docs-check gates the documentation: no dead relative links anywhere in
+# the Markdown tree (README, DESIGN, doc/ book, ...), gofmt-clean sources,
+# and a clean vet.
+docs-check:
+	$(GO) run ./cmd/docscheck .
+	@out=$$($(GOFMT) -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+ci: docs-check test
 
 # bench-quick regenerates two representative artifacts on the parallel
 # runner — a fast smoke test of the whole stack.

@@ -1,0 +1,124 @@
+// Command docscheck validates the repository's Markdown documentation: it
+// walks every *.md file and verifies that each relative link target exists
+// on disk. It catches the classic doc-rot failure — a file is moved or
+// renamed and a chapter cross-reference quietly dies.
+//
+// Usage:
+//
+//	docscheck [root]
+//
+// root defaults to the current directory. External links (http/https/
+// mailto) and pure in-page anchors (#section) are skipped; a fragment on a
+// relative link (config.md#epochs) is checked against the file only. Exit
+// code 1 means at least one dead link, with every offender listed as
+// file:line: target.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline Markdown links [text](target). Images ![alt](src)
+// are matched too (the [ preceding ! is not required), which is what we
+// want: image targets must exist as well.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	dead, err := check(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range dead {
+		fmt.Println(d)
+	}
+	if len(dead) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d dead link(s)\n", len(dead))
+		os.Exit(1)
+	}
+}
+
+// check walks root for Markdown files and returns one "file:line: target"
+// entry per dead relative link.
+func check(root string) ([]string, error) {
+	var dead []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS internals and vendored trees; everything else is
+			// fair game (doc/, docs/, top-level files).
+			switch d.Name() {
+			case ".git", "vendor", "node_modules":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.EqualFold(filepath.Ext(path), ".md") {
+			return nil
+		}
+		fileDead, err := checkFile(path)
+		if err != nil {
+			return err
+		}
+		dead = append(dead, fileDead...)
+		return nil
+	})
+	return dead, err
+}
+
+// checkFile scans one Markdown file for dead relative links.
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var dead []string
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		// Links inside fenced code blocks are examples, not references.
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skippable(target) {
+				continue
+			}
+			// Drop the fragment; only the file's existence is checked.
+			if j := strings.IndexByte(target, '#'); j >= 0 {
+				target = target[:j]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				dead = append(dead, fmt.Sprintf("%s:%d: %s", path, i+1, m[1]))
+			}
+		}
+	}
+	return dead, nil
+}
+
+// skippable reports whether a link target is out of scope for the on-disk
+// check: absolute URLs, mail links, and pure in-page anchors.
+func skippable(target string) bool {
+	return strings.Contains(target, "://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFindsDeadAndLiveLinks(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "doc", "a.md"), strings.Join([]string{
+		"[live sibling](b.md)",
+		"[live parent](../README.md)",
+		"[live with fragment](b.md#section)",
+		"[external](https://example.com/x.md)",
+		"[anchor only](#local)",
+		"[dead](missing.md)",
+		"```",
+		"[inside code fence](also-missing.md)",
+		"```",
+		"![dead image](img/nope.png)",
+	}, "\n"))
+	write(t, filepath.Join(dir, "doc", "b.md"), "b")
+	write(t, filepath.Join(dir, "README.md"), "[into doc](doc/a.md)")
+
+	dead, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dead) != 2 {
+		t.Fatalf("dead links = %v, want exactly missing.md and img/nope.png", dead)
+	}
+	for _, d := range dead {
+		if !strings.Contains(d, "missing.md") && !strings.Contains(d, "img/nope.png") {
+			t.Errorf("unexpected dead link %q", d)
+		}
+		if !strings.Contains(d, "a.md:") {
+			t.Errorf("dead link %q does not cite file:line", d)
+		}
+	}
+}
+
+// TestRepoDocsHaveNoDeadLinks runs the real check over this repository —
+// the same gate `make docs-check` applies in CI.
+func TestRepoDocsHaveNoDeadLinks(t *testing.T) {
+	dead, err := check("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dead {
+		t.Errorf("dead link: %s", d)
+	}
+}

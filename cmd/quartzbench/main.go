@@ -13,6 +13,12 @@
 //	quartzbench -list
 //	quartzbench -exp fig11,fig12 -scale quick
 //	quartzbench -exp all -scale full -parallel 8 -json results.jsonl -o results.txt
+//	quartzbench -exp fig12 -trace trace.json -metrics-out metrics.json
+//
+// -trace writes a Chrome trace-event file (chrome://tracing / Perfetto) with
+// every closed epoch as a slice and every delay injection as a flow-linked
+// slice; -metrics / -metrics-out export the aggregated metrics registry as
+// JSON. See doc/observability.md for the schema.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"time"
 
 	"github.com/quartz-emu/quartz/internal/experiments"
+	"github.com/quartz-emu/quartz/internal/obs"
 	"github.com/quartz-emu/quartz/internal/runner"
 )
 
@@ -46,6 +53,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeoutFlag  = fs.Duration("timeout", 0, "per-job timeout (0 = none)")
 		retriesFlag  = fs.Int("retries", 0, "retries per failed job")
 		progressFlag = fs.Bool("progress", false, "report job completion progress on stderr")
+		traceFlag    = fs.String("trace", "", "write a Chrome trace-event file of every emulated run (open in chrome://tracing or Perfetto)")
+		metricsFlag  = fs.Bool("metrics", false, "print a JSON metrics snapshot to stdout after the suite")
+		metricsOut   = fs.String("metrics-out", "", "write the JSON metrics snapshot to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -114,6 +124,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Timeout: *timeoutFlag,
 		Retries: *retriesFlag,
 	}
+
+	// Observability: one shared recorder collects the whole suite — runner
+	// job outcomes directly, and per-epoch ledger records from every
+	// emulator the experiment jobs attach (via the process-global default,
+	// since jobs construct their environments internally). See
+	// doc/observability.md.
+	var rec *obs.Recorder
+	if *traceFlag != "" || *metricsFlag || *metricsOut != "" {
+		rec = obs.New(0)
+		obs.SetDefault(rec)
+		defer obs.SetDefault(nil)
+		cfg.Recorder = rec
+	}
 	if *jsonFlag != "" {
 		jf, err := os.Create(*jsonFlag)
 		if err != nil {
@@ -159,5 +182,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *progressFlag {
 		fmt.Fprintf(stderr, "suite finished in %.1fs\n", time.Since(start).Seconds())
 	}
+
+	if rec != nil {
+		if err := writeObservability(rec, *traceFlag, *metricsFlag, *metricsOut, stdout, stderr); err != nil {
+			fmt.Fprintf(stderr, "quartzbench: %v\n", err)
+			return 1
+		}
+	}
 	return exit
+}
+
+// writeObservability exports the recorder's trace file and/or metrics
+// snapshot after the suite finishes.
+func writeObservability(rec *obs.Recorder, tracePath string, metricsStdout bool, metricsPath string, stdout, stderr io.Writer) error {
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		werr := rec.WriteChromeTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing trace: %w", werr)
+		}
+		if dropped := rec.Dropped(); dropped > 0 {
+			fmt.Fprintf(stderr, "quartzbench: trace ledger full: %d oldest epoch records dropped (metrics still complete)\n", dropped)
+		}
+	}
+	if metricsStdout {
+		if err := rec.WriteMetricsJSON(stdout); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		werr := rec.WriteMetricsJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing metrics: %w", werr)
+		}
+	}
+	return nil
 }

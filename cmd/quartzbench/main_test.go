@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -70,5 +71,84 @@ func TestRunWritesTableAndJSONL(t *testing.T) {
 	}
 	if _, err := os.Stat(jsonPath); err != nil {
 		t.Errorf("JSONL file not created: %v", err)
+	}
+}
+
+// TestTraceAndMetricsExports runs a small real experiment with -trace and
+// -metrics-out and cross-checks the two artifacts: the trace must be a
+// loadable Chrome trace-event file whose epoch slices account for every
+// retained ledger record, and the metrics snapshot must agree with it.
+func TestTraceAndMetricsExports(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	code, stdout, stderr := runCLI(t, "-exp", "overhead", "-trace", tracePath, "-metrics-out", metricsPath)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "== overhead") {
+		t.Errorf("experiment table missing:\n%s", stdout)
+	}
+
+	traceRaw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Cat string `json:"cat"`
+		} `json:"traceEvents"`
+		OtherData struct {
+			Retained int64 `json:"epochs_retained"`
+			Dropped  int64 `json:"epochs_dropped"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(traceRaw, &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var epochSlices int64
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "X" && ev.Cat == "epoch" {
+			epochSlices++
+		}
+	}
+	if epochSlices == 0 {
+		t.Fatal("trace contains no epoch slices")
+	}
+	if epochSlices != tr.OtherData.Retained {
+		t.Errorf("trace has %d epoch slices but reports %d retained", epochSlices, tr.OtherData.Retained)
+	}
+
+	metricsRaw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics map[string]any
+	if err := json.Unmarshal(metricsRaw, &metrics); err != nil {
+		t.Fatalf("metrics snapshot is not valid JSON: %v", err)
+	}
+	closed, ok := metrics["quartz.epochs.closed"].(float64)
+	if !ok {
+		t.Fatalf("metrics missing quartz.epochs.closed: %v", metrics)
+	}
+	if int64(closed) != tr.OtherData.Retained+tr.OtherData.Dropped {
+		t.Errorf("epochs.closed = %d, trace retained+dropped = %d",
+			int64(closed), tr.OtherData.Retained+tr.OtherData.Dropped)
+	}
+	if jobsOK, ok := metrics["runner.jobs.ok"].(float64); !ok || jobsOK == 0 {
+		t.Errorf("runner.jobs.ok missing or zero: %v", metrics["runner.jobs.ok"])
+	}
+}
+
+// TestNoObservabilityFlagsWritesNothing: without -trace/-metrics the global
+// recorder stays uninstalled and no observability output appears.
+func TestNoObservabilityFlagsWritesNothing(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-exp", "table1")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	if strings.Contains(stdout, "traceEvents") || strings.Contains(stdout, "quartz.epochs.closed") {
+		t.Errorf("observability output leaked without flags:\n%s", stdout)
 	}
 }

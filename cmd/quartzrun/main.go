@@ -9,6 +9,12 @@
 //	quartzrun -workload kvstore -threads 4 -nvm-lat 300 -nvm-bw 2e9
 //	quartzrun -workload pagerank -mode physical-remote
 //	quartzrun -workload multilat -two-memory -nvm-lat 400
+//	quartzrun -workload multithreaded -threads 4 -trace trace.json -metrics
+//
+// -trace writes a Chrome trace-event file of the run (epochs as slices,
+// delay injections as flow-linked slices; open in chrome://tracing or
+// Perfetto); -metrics / -metrics-out export the aggregated metrics registry
+// as JSON. See doc/observability.md.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"github.com/quartz-emu/quartz/internal/bench"
 	"github.com/quartz-emu/quartz/internal/core"
 	"github.com/quartz-emu/quartz/internal/machine"
+	"github.com/quartz-emu/quartz/internal/obs"
 	"github.com/quartz-emu/quartz/internal/sim"
 	"github.com/quartz-emu/quartz/internal/simos"
 )
@@ -47,6 +54,9 @@ type flags struct {
 	modelStr   string
 	seed       int64
 	configPath string
+	tracePath  string
+	metrics    bool
+	metricsOut string
 }
 
 func run() int {
@@ -67,6 +77,9 @@ func run() int {
 	flag.StringVar(&f.modelStr, "model", "stall", "latency model: stall (Eq.2) | simple (Eq.1)")
 	flag.Int64Var(&f.seed, "seed", 42, "workload seed")
 	flag.StringVar(&f.configPath, "config", "", "nvmemul.ini-style config file (overrides latency/bandwidth/epoch/model flags)")
+	flag.StringVar(&f.tracePath, "trace", "", "write a Chrome trace-event file of the run (open in chrome://tracing or Perfetto)")
+	flag.BoolVar(&f.metrics, "metrics", false, "print a JSON metrics snapshot after the run")
+	flag.StringVar(&f.metricsOut, "metrics-out", "", "write the JSON metrics snapshot to this file")
 	flag.Parse()
 
 	if err := execute(f); err != nil {
@@ -134,6 +147,16 @@ func execute(f flags) error {
 			return err
 		}
 	}
+
+	// Observability: the recorder is installed as the process-global
+	// default so the emulator bench.NewEnv attaches picks it up.
+	var rec *obs.Recorder
+	if f.tracePath != "" || f.metrics || f.metricsOut != "" {
+		rec = obs.New(0)
+		obs.SetDefault(rec)
+		defer obs.SetDefault(nil)
+	}
+
 	env, err := bench.NewEnv(bench.EnvConfig{
 		Preset: preset, Mode: mode, Quartz: q,
 		Lookahead: 2 * sim.Microsecond,
@@ -156,6 +179,48 @@ func execute(f flags) error {
 		fmt.Printf("\nemulator stats: epochs=%d (max=%d sync=%d) injected=%v overhead=%v\n",
 			st.Epochs, st.MaxEpochs, st.SyncEpochs, st.Injected, st.Overhead)
 		fmt.Printf("feedback: %s\n", st.Suggestion())
+	}
+
+	if rec != nil {
+		if err := exportObservability(rec, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exportObservability writes the trace file and/or metrics snapshot.
+func exportObservability(rec *obs.Recorder, f flags) error {
+	if f.tracePath != "" {
+		tf, err := os.Create(f.tracePath)
+		if err != nil {
+			return err
+		}
+		werr := rec.WriteChromeTrace(tf)
+		if cerr := tf.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing trace: %w", werr)
+		}
+	}
+	if f.metrics {
+		if err := rec.WriteMetricsJSON(os.Stdout); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
+	if f.metricsOut != "" {
+		mf, err := os.Create(f.metricsOut)
+		if err != nil {
+			return err
+		}
+		werr := rec.WriteMetricsJSON(mf)
+		if cerr := mf.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing metrics: %w", werr)
+		}
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/quartz-emu/quartz/internal/obs"
 	"github.com/quartz-emu/quartz/internal/perf"
 	"github.com/quartz-emu/quartz/internal/sim"
 )
@@ -97,6 +98,11 @@ type Config struct {
 	// DisableAmortization turns off the overhead carry-over discounting of
 	// §3.2 (ablation knob).
 	DisableAmortization bool
+	// Observer receives the per-epoch ledger records and aggregate metrics
+	// (see internal/obs). Nil falls back to the process-global default
+	// recorder (obs.Default), which is itself nil unless a CLI installed
+	// one — the fully disabled path costs one branch per epoch.
+	Observer *obs.Recorder
 }
 
 // Defaults for unset Config fields.

@@ -7,6 +7,7 @@ import (
 	"github.com/quartz-emu/quartz/internal/interpose"
 	"github.com/quartz-emu/quartz/internal/kmod"
 	"github.com/quartz-emu/quartz/internal/machine"
+	"github.com/quartz-emu/quartz/internal/obs"
 	"github.com/quartz-emu/quartz/internal/perf"
 	"github.com/quartz-emu/quartz/internal/sim"
 	"github.com/quartz-emu/quartz/internal/simos"
@@ -21,6 +22,19 @@ const (
 	reasonSync                        // inter-thread communication event
 	reasonEnd                         // thread exit / emulator shutdown
 )
+
+func (r epochReason) String() string {
+	switch r {
+	case reasonMax:
+		return "max"
+	case reasonSync:
+		return "sync"
+	case reasonEnd:
+		return "end"
+	default:
+		return fmt.Sprintf("reason(%d)", int(r))
+	}
+}
 
 // threadState is the emulator's per-registered-thread bookkeeping.
 type threadState struct {
@@ -61,6 +75,9 @@ type Emulator struct {
 	monitorThread *simos.Thread
 	stopMonitor   bool
 	restoreHooks  func()
+
+	rec    *obs.Recorder // nil unless observability is enabled
+	obsPID int           // trace PID assigned by rec
 
 	attached bool
 	ran      bool
@@ -185,6 +202,20 @@ func Attach(proc *simos.Process, cfg Config) (*Emulator, error) {
 		byThread: make(map[*simos.Thread]*threadState),
 	}
 
+	// Observability: an explicitly configured recorder wins; otherwise the
+	// process-global default (installed by -trace/-metrics CLI flags) is
+	// picked up, so emulators assembled deep inside experiment jobs report
+	// without plumbing. Both are usually nil — the disabled path is one
+	// branch per epoch event.
+	e.rec = cfg.Observer
+	if e.rec == nil {
+		e.rec = obs.Default()
+	}
+	if e.rec != nil {
+		e.obsPID = e.rec.RegisterProcess(fmt.Sprintf("quartz %s (NVM %v)", mcfg.Name, cfg.NVMLatency))
+		proc.SetRecorder(e.rec)
+	}
+
 	restore, err := interpose.Install(proc, interpose.Hooks{
 		ThreadStarted:       e.onThreadStarted,
 		BeforeMutexLock:     func(t *simos.Thread, _ *simos.Mutex) { e.onSyncEvent(t) },
@@ -278,6 +309,7 @@ func (e *Emulator) onSyncEvent(t *simos.Thread) {
 		return
 	}
 	if t.Now()-ts.epochStart < e.cfg.MinEpoch {
+		e.rec.EpochSuppressed("sync")
 		return
 	}
 	e.endEpoch(ts, reasonSync)
@@ -291,7 +323,8 @@ func (e *Emulator) onSigEpoch(t *simos.Thread, _ simos.Signal) {
 		return // monitor shutdown kick or unregistered thread
 	}
 	if t.Now()-ts.epochStart < e.cfg.MinEpoch {
-		return // epoch was reset after the signal was sent (wake-up drift)
+		e.rec.EpochSuppressed("max") // reset after the signal was sent (wake-up drift)
+		return
 	}
 	e.endEpoch(ts, reasonMax)
 }
@@ -380,9 +413,19 @@ func (e *Emulator) endEpoch(ts *threadState, reason epochReason) {
 	ts.epochLenSum += epochLen
 	ts.overhead += overhead
 
+	// Injection bookkeeping for the epoch ledger: what was actually spun,
+	// and over which virtual-time window.
+	var injected, injStart, injEnd sim.Time
+	doInject := func(d sim.Time) {
+		injStart = t.Now()
+		e.inject(ts, d)
+		injEnd = t.Now()
+		injected = d
+	}
+
 	if e.cfg.DisableAmortization {
 		if !e.cfg.InjectionOff && delay > 0 {
-			e.inject(ts, delay)
+			doInject(delay)
 		} else {
 			ts.wouldInject += delay
 		}
@@ -396,13 +439,36 @@ func (e *Emulator) endEpoch(ts *threadState, reason epochReason) {
 		case delay > ts.carry:
 			inject := delay - ts.carry
 			ts.carry = 0
-			e.inject(ts, inject)
+			doInject(inject)
 		default:
 			ts.carry -= delay
 		}
 	}
 
 	t.Trace(trace.KindEpoch, fmt.Sprintf("len=%v delay=%v reason=%d", epochLen, delay, int(reason)))
+
+	if e.rec != nil {
+		epochEnd := ts.epochStart + epochLen
+		e.rec.EpochClosed(obs.EpochRecord{
+			PID:            e.obsPID,
+			TID:            t.TID(),
+			Thread:         t.Name(),
+			Start:          ts.epochStart,
+			End:            epochEnd,
+			Reason:         reason.String(),
+			StallCycles:    delta.stallCycles,
+			L3Hit:          delta.l3Hit,
+			L3MissLocal:    delta.l3MissLoc,
+			L3MissRemote:   delta.l3MissRem,
+			LDMStallCycles: e.params.observedStall(delta),
+			Delay:          delay,
+			Injected:       injected,
+			InjectStart:    injStart,
+			InjectEnd:      injEnd,
+			Overhead:       overhead,
+			Carry:          ts.carry,
+		})
+	}
 
 	// Open the next epoch.
 	ts.epochStart = t.Now()

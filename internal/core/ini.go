@@ -20,6 +20,7 @@ import (
 //	enable = true      ; false leaves read latency unemulated
 //	read   = 500       ; target NVM read latency, ns
 //	write  = 700       ; pflush write delay, ns (0 = read - DRAM gap)
+//	dram   = 0         ; DRAM baseline override, ns (0 = machine-calibrated)
 //
 //	[bandwidth]
 //	enable = true
@@ -41,12 +42,19 @@ import (
 //	[topology]
 //	two_memory = false ; DRAM+NVM virtual topology (§3.3)
 //
+//	[overhead]
+//	init_cycles        = 5500000000 ; library initialization cost (§3.2)
+//	register_cycles    = 300000     ; per-thread registration cost (§3.2)
+//	epoch_logic_cycles = 2000       ; epoch cost beyond counter reads (§3.2)
+//	spin_poll_cycles   = 20         ; rdtscp polling granularity of the spin loop
+//
 // Comments start with ';' or '#'. Booleans accept true/false/1/0/yes/no.
+// See doc/config.md for the full key-by-key reference against core.Config.
 func ParseINI(r io.Reader) (Config, error) {
 	var cfg Config
 	latencyEnabled := true
 	bandwidthEnabled := true
-	var latReadNS, latWriteNS float64
+	var latReadNS, latWriteNS, latDRAMNS float64
 	var bwReadMB, bwWriteMB float64
 
 	section := ""
@@ -64,7 +72,7 @@ func ParseINI(r io.Reader) (Config, error) {
 		if strings.HasPrefix(line, "[") && strings.HasSuffix(line, "]") {
 			section = strings.ToLower(strings.TrimSpace(line[1 : len(line)-1]))
 			switch section {
-			case "latency", "bandwidth", "epochs", "model", "topology", "general":
+			case "latency", "bandwidth", "epochs", "model", "topology", "overhead", "general":
 			default:
 				return Config{}, fmt.Errorf("core: ini line %d: unknown section %q", lineNo, section)
 			}
@@ -101,6 +109,12 @@ func ParseINI(r io.Reader) (Config, error) {
 					return fail(err)
 				}
 				latWriteNS = v
+			case "dram":
+				v, err := strconv.ParseFloat(value, 64)
+				if err != nil {
+					return fail(err)
+				}
+				latDRAMNS = v
 			default:
 				return fail(fmt.Errorf("unknown key"))
 			}
@@ -189,6 +203,26 @@ func ParseINI(r io.Reader) (Config, error) {
 			default:
 				return fail(fmt.Errorf("unknown key"))
 			}
+		case "overhead":
+			v, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				return fail(err)
+			}
+			if v < 0 {
+				return fail(fmt.Errorf("negative cycle count %d", v))
+			}
+			switch key {
+			case "init_cycles":
+				cfg.InitCycles = v
+			case "register_cycles":
+				cfg.RegisterCycles = v
+			case "epoch_logic_cycles":
+				cfg.EpochLogicCycles = v
+			case "spin_poll_cycles":
+				cfg.SpinPollCycles = v
+			default:
+				return fail(fmt.Errorf("unknown key"))
+			}
 		case "general":
 			// Accepted for compatibility; no knobs yet.
 		default:
@@ -203,6 +237,7 @@ func ParseINI(r io.Reader) (Config, error) {
 		cfg.NVMLatency = sim.FromNanos(latReadNS)
 		cfg.WriteLatency = sim.FromNanos(latWriteNS)
 	}
+	cfg.DRAMLatency = sim.FromNanos(latDRAMNS)
 	if bandwidthEnabled {
 		cfg.NVMBandwidth = bwReadMB * 1e6
 		cfg.NVMWriteBandwidth = bwWriteMB * 1e6

@@ -67,6 +67,18 @@ func (p modelParams) splitRemote(stallCycles float64, d counterSample) float64 {
 	return stallCycles * rem / (loc + rem)
 }
 
+// observedStall reports the LDM_STALL cycles the stall model attributes to
+// (virtual-NVM) memory for an epoch's counter delta — Eq. 3, narrowed by
+// the Eq. 4 remote split in two-memory mode. It exists for the epoch
+// ledger; the delay path recomputes it inline.
+func (p modelParams) observedStall(d counterSample) float64 {
+	stall := p.ldmStall(d)
+	if p.twoMemory {
+		stall = p.splitRemote(stall, d)
+	}
+	return stall
+}
+
 // delay computes the epoch's injected delay Δᵢ from the counter delta.
 //
 // ModelStall (Eq. 2): Δ = LDM_STALL / DRAM_lat · (NVM_lat − DRAM_lat),

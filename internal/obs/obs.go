@@ -1,0 +1,259 @@
+// Package obs is the emulator's observability layer: a low-overhead epoch
+// ledger, an aggregated metrics registry, and a Chrome trace-event exporter.
+//
+// Quartz's value is explaining where emulated time goes — per-epoch stall
+// cycles, the Eq. 2/3 delay derivation, min/max-epoch truncation, and the
+// amortization carry — so the instrumentation that computes those quantities
+// must be inspectable. This package provides three surfaces:
+//
+//   - the epoch ledger: one EpochRecord per closed epoch, in global close
+//     order, carrying the trigger, the raw counter deltas, the computed
+//     LDM_STALL, and the injected/amortized delay split;
+//   - the metrics registry (registry.go): expvar-style named counters,
+//     gauges and histograms covering epochs, delays, suppressions, runner
+//     job outcomes and simulation-kernel activity, exported as one JSON
+//     snapshot;
+//   - the Chrome trace exporter (chrome.go): the ledger rendered as a
+//     trace-event JSON file loadable in chrome://tracing or Perfetto, with
+//     epochs as slices and delay injections as flow-connected slices.
+//
+// The entry point is the Recorder. A nil *Recorder is valid and records
+// nothing: every method nil-checks its receiver, so instrumented code calls
+// unconditionally and the disabled path costs one predictable branch. All
+// methods are safe for concurrent use — the experiment runner executes many
+// independent simulations in parallel against one shared recorder.
+package obs
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/quartz-emu/quartz/internal/sim"
+)
+
+// DefaultLedgerLimit bounds the ledger when New is called with limit <= 0.
+// At ~200 bytes per record this caps ledger memory near 100 MB; longer runs
+// keep the newest records and count the dropped ones.
+const DefaultLedgerLimit = 1 << 19
+
+// EpochRecord is one closed epoch as the emulator core observed it.
+type EpochRecord struct {
+	// Seq is the global close order (0-based) assigned by the recorder.
+	Seq uint64
+	// PID identifies the emulated process (one RegisterProcess call);
+	// parallel experiment jobs get distinct PIDs.
+	PID int
+	// TID and Thread identify the thread within the process.
+	TID    int
+	Thread string
+
+	// Start and End bound the epoch in virtual time. End is the close
+	// time, before epoch-processing overhead and delay injection.
+	Start, End sim.Time
+	// Reason is the close trigger: "max" (monitor signal at maximum epoch
+	// length), "sync" (inter-thread communication event), or "end"
+	// (explicit close / thread exit).
+	Reason string
+
+	// Raw Table 1 counter deltas over the epoch.
+	StallCycles  uint64
+	L3Hit        uint64
+	L3MissLocal  uint64
+	L3MissRemote uint64
+
+	// LDMStallCycles is Eq. 3's memory-attributable stall extraction (after
+	// the Eq. 4 remote split in two-memory mode).
+	LDMStallCycles float64
+
+	// Delay is the model-computed delay (Eq. 1 or Eq. 2) for this epoch;
+	// Injected is what was actually spun after overhead amortization.
+	// Injected < Delay means the difference amortized accumulated overhead;
+	// Injected == 0 with Delay > 0 also covers switched-off-injection mode.
+	Delay    sim.Time
+	Injected sim.Time
+	// InjectStart/InjectEnd bound the injection spin in virtual time
+	// (zero when nothing was injected).
+	InjectStart, InjectEnd sim.Time
+	// Overhead is the epoch-processing cost charged at this close; Carry is
+	// the unamortized overhead outstanding after this epoch.
+	Overhead sim.Time
+	Carry    sim.Time
+}
+
+// Len reports the epoch's length in virtual time.
+func (e EpochRecord) Len() sim.Time { return e.End - e.Start }
+
+// Recorder collects epoch records and metrics for one run (or one parallel
+// suite of runs). The zero value is not used directly; construct with New.
+// A nil *Recorder is a valid no-op sink.
+type Recorder struct {
+	reg *Registry
+
+	mu      sync.Mutex
+	ledger  []EpochRecord
+	limit   int
+	dropped int64
+	procs   []string // index = PID-1
+}
+
+// New creates a recorder whose ledger keeps at most limit records
+// (limit <= 0 selects DefaultLedgerLimit).
+func New(limit int) *Recorder {
+	if limit <= 0 {
+		limit = DefaultLedgerLimit
+	}
+	return &Recorder{reg: NewRegistry(), limit: limit}
+}
+
+// Enabled reports whether r actually records (false for nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Registry returns the metrics registry (nil for a nil recorder).
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// RegisterProcess allocates a trace PID for one emulated process and
+// associates it with a display label. It returns 0 on a nil recorder.
+func (r *Recorder) RegisterProcess(label string) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.procs = append(r.procs, label)
+	return len(r.procs)
+}
+
+// EpochClosed appends one closed epoch to the ledger (assigning rec.Seq)
+// and folds it into the aggregate metrics. When the ledger is full the
+// record is counted as dropped but the metrics still aggregate it.
+func (r *Recorder) EpochClosed(rec EpochRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	rec.Seq = uint64(len(r.ledger)) + uint64(r.dropped)
+	if len(r.ledger) < r.limit {
+		r.ledger = append(r.ledger, rec)
+	} else {
+		r.dropped++
+	}
+	r.mu.Unlock()
+
+	r.reg.Counter("quartz.epochs.closed").Add(1)
+	r.reg.Counter("quartz.epochs.reason." + rec.Reason).Add(1)
+	r.reg.Counter("quartz.delay.computed_ns").Add(ns(rec.Delay))
+	r.reg.Counter("quartz.delay.injected_ns").Add(ns(rec.Injected))
+	if rec.Delay > rec.Injected {
+		r.reg.Counter("quartz.delay.withheld_ns").Add(ns(rec.Delay - rec.Injected))
+	}
+	r.reg.Counter("quartz.overhead.epoch_ns").Add(ns(rec.Overhead))
+	r.reg.Histogram("quartz.epoch.len_ns").Observe(ns(rec.Len()))
+	r.reg.Histogram("quartz.epoch.delay_ns").Observe(ns(rec.Delay))
+	r.reg.Histogram("quartz.epoch.stall_cycles").Observe(int64(rec.StallCycles))
+}
+
+// EpochSuppressed counts an epoch-close trigger that was ignored because
+// the epoch was still below the minimum length. Trigger is "sync" (a
+// synchronization event arrived early) or "max" (the monitor's signal
+// landed after the epoch was already reset — wake-up drift).
+func (r *Recorder) EpochSuppressed(trigger string) {
+	if r == nil {
+		return
+	}
+	r.reg.Counter("quartz.epochs.suppressed." + trigger).Add(1)
+}
+
+// ContendedWait counts a thread blocking on an already-held lock — the
+// inter-thread communication events whose epoch closes propagate delay.
+func (r *Recorder) ContendedWait() {
+	if r == nil {
+		return
+	}
+	r.reg.Counter("simos.sync.contended_waits").Add(1)
+}
+
+// KernelRun folds one finished simulation kernel's scheduler statistics
+// into the aggregate metrics.
+func (r *Recorder) KernelRun(ks sim.KernelStats) {
+	if r == nil {
+		return
+	}
+	r.reg.Counter("sim.kernels").Add(1)
+	r.reg.Counter("sim.coros_spawned").Add(int64(ks.Spawned))
+	r.reg.Counter("sim.coros_finished").Add(int64(ks.Finished))
+	r.reg.Counter("sim.dispatches").Add(int64(ks.Dispatches))
+	r.reg.Histogram("sim.max_runqueue").Observe(int64(ks.MaxQueue))
+}
+
+// JobDone records one experiment-runner job outcome.
+func (r *Recorder) JobDone(status string, attempts int, wall time.Duration) {
+	if r == nil {
+		return
+	}
+	r.reg.Counter("runner.jobs." + status).Add(1)
+	r.reg.Counter("runner.attempts").Add(int64(attempts))
+	if attempts > 1 {
+		r.reg.Counter("runner.retries_used").Add(int64(attempts - 1))
+	}
+	r.reg.Histogram("runner.job_wall_ms").Observe(wall.Milliseconds())
+}
+
+// Ledger returns a copy of the retained epoch records in close order.
+func (r *Recorder) Ledger() []EpochRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]EpochRecord, len(r.ledger))
+	copy(out, r.ledger)
+	return out
+}
+
+// Dropped reports how many epoch records were discarded because the ledger
+// was full (their metrics were still aggregated).
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// WriteMetricsJSON writes the metrics snapshot as indented JSON. It is a
+// no-op on a nil recorder.
+func (r *Recorder) WriteMetricsJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	dropped := r.dropped
+	retained := len(r.ledger)
+	r.mu.Unlock()
+	r.reg.Gauge("obs.ledger.retained").Set(float64(retained))
+	r.reg.Gauge("obs.ledger.dropped").Set(float64(dropped))
+	return r.reg.WriteJSON(w)
+}
+
+// ns converts virtual time to integer nanoseconds for metric accumulation.
+func ns(t sim.Time) int64 { return int64(t / sim.Nanosecond) }
+
+// defaultRecorder is the process-global recorder CLIs install so that
+// emulators assembled deep inside experiment jobs attach to it without
+// threading a handle through every constructor.
+var defaultRecorder atomic.Pointer[Recorder]
+
+// SetDefault installs (or, with nil, clears) the global default recorder
+// that core.Attach falls back to when its Config carries no Observer.
+func SetDefault(r *Recorder) { defaultRecorder.Store(r) }
+
+// Default returns the global default recorder, or nil when none is set.
+func Default() *Recorder { return defaultRecorder.Load() }

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric holding one settable value (last write wins).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value reports the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Add increments the gauge by d (not atomic with respect to concurrent Adds
+// of different deltas; use a Counter when exact concurrent sums matter).
+func (g *Gauge) Add(d float64) { g.Set(g.Value() + d) }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket k
+// counts observations v with 2^(k-1) < v <= 2^k (bucket 0 counts v <= 1).
+const histBuckets = 64
+
+// Histogram accumulates int64 observations into power-of-two buckets. It
+// tracks count, sum, min and max exactly; the distribution is approximated
+// by the bucket counts.
+type Histogram struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	min   atomic.Int64 // valid when count > 0
+	max   atomic.Int64
+	once  sync.Once
+	bkt   [histBuckets]atomic.Int64
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.once.Do(func() { h.min.Store(v) })
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.bkt[bucketOf(v)].Add(1)
+}
+
+// bucketOf maps v (>= 0) to its power-of-two bucket index.
+func bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(v - 1))
+}
+
+// HistogramSnapshot is an exported view of a Histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	// Buckets maps the bucket's inclusive upper bound (a power of two) to
+	// its observation count; empty buckets are omitted.
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot exports the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Min:   h.min.Load(),
+		Max:   h.max.Load(),
+	}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	} else {
+		s.Min = 0
+	}
+	for k := range h.bkt {
+		if n := h.bkt[k].Load(); n > 0 {
+			if s.Buckets == nil {
+				s.Buckets = make(map[string]int64)
+			}
+			s.Buckets[bucketLabel(k)] = n
+		}
+	}
+	return s
+}
+
+// bucketLabel renders bucket k's upper bound ("<=1", "<=2", "<=4", ...).
+func bucketLabel(k int) string {
+	if k >= 63 { // 2^63 overflows int64; label the top bucket openly
+		return "<=inf"
+	}
+	return "<=" + strconv.FormatInt(int64(1)<<uint(k), 10)
+}
+
+// Registry is a named collection of counters, gauges and histograms —
+// expvar-style: metrics are created on first use and exported as one JSON
+// snapshot. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot exports every metric's current value keyed by name: counters as
+// int64, gauges as float64, histograms as HistogramSnapshot.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON with sorted keys.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Emit in sorted order for stable, diffable output.
+	if _, err := io.WriteString(w, "{\n"); err != nil {
+		return err
+	}
+	for i, name := range names {
+		v, err := json.Marshal(snap[name])
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(names)-1 {
+			sep = "\n"
+		}
+		k, _ := json.Marshal(name)
+		if _, err := io.WriteString(w, "  "+string(k)+": "+string(v)+sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}

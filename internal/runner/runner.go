@@ -18,6 +18,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/quartz-emu/quartz/internal/obs"
 )
 
 // Status classifies how a job finished.
@@ -78,6 +80,10 @@ type Config struct {
 	// OnProgress, when non-nil, is called after every job completion. Calls
 	// are serialized; keep the work cheap.
 	OnProgress func(Progress)
+	// Recorder, when non-nil, aggregates job outcomes, attempts and wall
+	// times into its metrics registry (internal/obs). A nil recorder is a
+	// no-op.
+	Recorder *obs.Recorder
 }
 
 // Progress snapshots suite completion for live reporting.
@@ -140,6 +146,7 @@ func Run(ctx context.Context, cfg Config, jobs []Job) ([]Result, error) {
 		if r.Status != StatusOK {
 			failed++
 		}
+		cfg.Recorder.JobDone(string(r.Status), r.Attempts, r.Wall)
 		if cfg.Sink != nil {
 			if err := cfg.Sink.Write(r); err != nil && sinkErr == nil {
 				sinkErr = fmt.Errorf("runner: result sink: %w", err)

@@ -17,10 +17,33 @@ type Kernel struct {
 	queue   coroHeap
 	running *Coro // coro currently executing, nil while scheduling
 
-	spawned  int
-	finished int
-	failure  error
-	aborted  bool
+	spawned    int
+	finished   int
+	dispatches int64
+	maxQueue   int
+	failure    error
+	aborted    bool
+}
+
+// KernelStats snapshots a kernel's scheduler activity for observability:
+// how many coros it ran, how many scheduler dispatches (context switches)
+// the interleaving needed, and the run-queue high-water mark. Dispatches
+// per coro is the direct measure of how much a lookahead quantum is saving.
+type KernelStats struct {
+	Spawned    int
+	Finished   int
+	Dispatches int64
+	MaxQueue   int
+}
+
+// Stats reports scheduler activity so far (stable after Run returns).
+func (k *Kernel) Stats() KernelStats {
+	return KernelStats{
+		Spawned:    k.spawned,
+		Finished:   k.finished,
+		Dispatches: k.dispatches,
+		MaxQueue:   k.maxQueue,
+	}
 }
 
 // NewKernel returns a kernel with the given lookahead quantum.
@@ -69,6 +92,9 @@ func (k *Kernel) Spawn(name string, start Time, fn func(*Coro)) *Coro {
 // system deadlocked (blocked threads remain but nothing is runnable).
 func (k *Kernel) Run() error {
 	for k.queue.len() > 0 && !k.aborted {
+		if n := k.queue.len(); n > k.maxQueue {
+			k.maxQueue = n
+		}
 		c := k.queue.pop()
 		if c.state == stateSleeping {
 			c.clock = maxTime(c.clock, c.wake)
@@ -125,6 +151,7 @@ func (k *Kernel) Now() Time {
 
 // dispatch hands control to c and waits for it to yield back.
 func (k *Kernel) dispatch(c *Coro) {
+	k.dispatches++
 	k.running = c
 	if !c.started {
 		c.started = true

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"github.com/quartz-emu/quartz/internal/machine"
+	"github.com/quartz-emu/quartz/internal/obs"
 	"github.com/quartz-emu/quartz/internal/sim"
 	"github.com/quartz-emu/quartz/internal/trace"
 )
@@ -67,6 +68,7 @@ type Process struct {
 	handlers map[Signal]Handler
 	heap     []uintptr // per-node bump pointers
 	tracer   *trace.Buffer
+	rec      *obs.Recorder // nil-safe observability sink
 
 	started bool
 }
@@ -143,11 +145,21 @@ func (p *Process) Run(fn ThreadFunc) error {
 	if _, err := p.newThread(nil, "main", fn, -1, 0); err != nil {
 		return err
 	}
-	if err := p.kern.Run(); err != nil {
+	err := p.kern.Run()
+	p.rec.KernelRun(p.kern.Stats())
+	if err != nil {
 		return fmt.Errorf("simos: %w", err)
 	}
 	return nil
 }
+
+// SetRecorder installs an observability recorder; sync primitives count
+// contended waits against it and Run folds in the kernel's scheduler
+// statistics. A nil recorder (the default) records nothing.
+func (p *Process) SetRecorder(r *obs.Recorder) { p.rec = r }
+
+// Recorder reports the installed observability recorder (nil when unset).
+func (p *Process) Recorder() *obs.Recorder { return p.rec }
 
 // EndTime reports the virtual time at which the last thread finished. Valid
 // after Run returns.

@@ -43,6 +43,7 @@ func doLock(t *Thread, m *Mutex) {
 		t.Failf("mutex %q: recursive lock", m.name)
 	}
 	for m.owner != nil {
+		t.proc.rec.ContendedWait()
 		m.waiters = append(m.waiters, t)
 		t.coro.Block()
 		// Handlers (e.g. epoch delay injection) run before the retry.

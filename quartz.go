@@ -35,6 +35,7 @@ import (
 
 	"github.com/quartz-emu/quartz/internal/core"
 	"github.com/quartz-emu/quartz/internal/machine"
+	"github.com/quartz-emu/quartz/internal/obs"
 	"github.com/quartz-emu/quartz/internal/perf"
 	"github.com/quartz-emu/quartz/internal/sim"
 	"github.com/quartz-emu/quartz/internal/simos"
@@ -72,6 +73,12 @@ type (
 	Model = core.Model
 	// Family is a processor generation (counter event file).
 	Family = perf.Family
+	// Recorder is the epoch-level observability sink: a per-epoch ledger,
+	// an aggregated metrics registry, and a Chrome trace-event exporter. A
+	// nil *Recorder is a valid no-op. See doc/observability.md.
+	Recorder = obs.Recorder
+	// EpochRecord is one closed epoch as recorded in the ledger.
+	EpochRecord = obs.EpochRecord
 )
 
 // The paper's three dual-socket testbeds (§4.1).
@@ -190,5 +197,19 @@ func (s *System) String() string {
 
 // LoadConfigFile reads a Config from an nvmemul.ini-style file, the
 // configuration format of the original Quartz release. See core.ParseINI
-// for the schema.
+// for the schema and doc/config.md for the key reference.
 func LoadConfigFile(path string) (Config, error) { return core.LoadINIFile(path) }
+
+// NewRecorder creates an observability recorder whose epoch ledger keeps at
+// most ledgerLimit records (<= 0 selects the default limit). Attach it to an
+// emulation via Config.Observer:
+//
+//	rec := quartz.NewRecorder(0)
+//	sys, _ := quartz.NewSystem(quartz.IvyBridge, quartz.Config{
+//		NVMLatency: quartz.Nanoseconds(500),
+//		Observer:   rec,
+//	})
+//	_ = sys.Run(workload)
+//	_ = rec.WriteChromeTrace(traceFile)  // epochs as Perfetto slices
+//	_ = rec.WriteMetricsJSON(os.Stdout)  // aggregated counters
+func NewRecorder(ledgerLimit int) *Recorder { return obs.New(ledgerLimit) }
