@@ -5,7 +5,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build vet test bench-quick bench full-results docs-check ci
+.PHONY: all build vet test bench-quick bench bench-compare bench-smoke full-results docs-check ci
 
 all: vet test
 
@@ -27,12 +27,27 @@ docs-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
-ci: docs-check test
+ci: docs-check test bench-smoke
 
 # bench-quick regenerates two representative artifacts on the parallel
-# runner — a fast smoke test of the whole stack.
+# runner — a fast smoke test of the whole stack — and runs the hot-path
+# micro-benchmarks (cache walk, core load, kernel dispatch).
 bench-quick:
 	$(GO) run ./cmd/quartzbench -exp table2,fig8 -scale quick -parallel 4
+	$(GO) test -bench='BenchmarkCache|BenchmarkPrefetcher' -benchtime=100000x -run=^$$ ./internal/cache
+	$(GO) test -bench='BenchmarkCore' -benchtime=100000x -run=^$$ ./internal/cpu
+	$(GO) test -bench='BenchmarkKernel' -benchtime=100000x -run=^$$ ./internal/sim
+
+# bench-compare times the quick suite experiment by experiment (min of two
+# passes each), diffs against the committed BENCH artifact, and rewrites it —
+# the perf-trajectory record. Inspect the delta before committing the update.
+bench-compare:
+	$(GO) run ./cmd/benchcompare -exp fig11,fig12,fig13 -scale quick -runs 2 -baseline BENCH_3.json -o BENCH_3.json
+
+# bench-smoke exercises the bench-compare flow on one fast experiment
+# without touching the committed artifact (the ci hook).
+bench-smoke:
+	$(GO) run ./cmd/benchcompare -exp table2 -scale quick -runs 1 -o ""
 
 # bench runs every paper artifact as testing.B benchmarks at quick scale.
 bench:

@@ -1,0 +1,182 @@
+// Command benchcompare times the evaluation suite experiment by experiment
+// and emits a machine-readable timing artifact (BENCH_N.json) so the
+// repository tracks its performance trajectory.
+//
+// Each selected experiment runs -runs times in-process (serially, for stable
+// numbers) and is scored by its minimum wall time — the standard estimator
+// for noisy hosts. With -baseline pointing at a previous artifact, the
+// per-experiment delta against it is computed and printed; the emitted
+// artifact then carries both sides, so a committed BENCH file always shows
+// before and after.
+//
+// Usage:
+//
+//	benchcompare -exp fig11,fig12,fig13 -scale quick -runs 2 -baseline BENCH_3.json -o BENCH_3.json
+//	benchcompare -exp table2 -runs 1 -o ""   # print-only smoke run
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/quartz-emu/quartz/internal/experiments"
+)
+
+// Artifact is the BENCH_N.json schema.
+type Artifact struct {
+	Schema      string       `json:"schema"`
+	GeneratedAt string       `json:"generated_at"`
+	Scale       string       `json:"scale"`
+	Runs        int          `json:"runs"`
+	Experiments []Experiment `json:"experiments"`
+	TotalMinMS  float64      `json:"total_min_ms"`
+	// BaselineTotalMS and DeltaPct are present when a baseline was supplied.
+	BaselineTotalMS float64 `json:"baseline_total_ms,omitempty"`
+	DeltaPct        float64 `json:"delta_pct,omitempty"`
+}
+
+// Experiment is one experiment's timing entry.
+type Experiment struct {
+	ID     string    `json:"id"`
+	WallMS []float64 `json:"wall_ms"`
+	MinMS  float64   `json:"min_ms"`
+	// BaselineMS and DeltaPct compare against the -baseline artifact
+	// (negative delta = faster than baseline).
+	BaselineMS float64 `json:"baseline_ms,omitempty"`
+	DeltaPct   float64 `json:"delta_pct,omitempty"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchcompare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		expFlag      = fs.String("exp", "fig11,fig12,fig13", "comma-separated experiment ids")
+		scaleFlag    = fs.String("scale", "quick", "sweep scale: quick or full")
+		runsFlag     = fs.Int("runs", 2, "timed passes per experiment (scored by minimum)")
+		baselineFlag = fs.String("baseline", "", "previous artifact to diff against")
+		outFlag      = fs.String("o", "BENCH.json", "output artifact path (empty = print only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(stderr, "benchcompare: unknown scale %q (quick|full)\n", *scaleFlag)
+		return 2
+	}
+	if *runsFlag < 1 {
+		fmt.Fprintln(stderr, "benchcompare: -runs must be at least 1")
+		return 2
+	}
+
+	var ids []string
+	for _, id := range strings.Split(*expFlag, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if !experiments.Known(id) {
+			fmt.Fprintf(stderr, "benchcompare: unknown experiment %q\n", id)
+			return 2
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(stderr, "benchcompare: no experiments selected")
+		return 2
+	}
+
+	baseline := map[string]float64{}
+	var baselineTotal float64
+	if *baselineFlag != "" {
+		prev, err := readArtifact(*baselineFlag)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchcompare: reading baseline: %v\n", err)
+			return 1
+		}
+		for _, e := range prev.Experiments {
+			baseline[e.ID] = e.MinMS
+		}
+		baselineTotal = prev.TotalMinMS
+	}
+
+	art := Artifact{
+		Schema:      "quartz-bench-compare/1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       *scaleFlag,
+		Runs:        *runsFlag,
+	}
+	for _, id := range ids {
+		e := Experiment{ID: id, MinMS: -1}
+		for r := 0; r < *runsFlag; r++ {
+			start := time.Now()
+			if _, err := experiments.Run(id, scale); err != nil {
+				fmt.Fprintf(stderr, "benchcompare: %s: %v\n", id, err)
+				return 1
+			}
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			e.WallMS = append(e.WallMS, ms)
+			if e.MinMS < 0 || ms < e.MinMS {
+				e.MinMS = ms
+			}
+		}
+		line := fmt.Sprintf("%-18s %8.1f ms (min of %d)", id, e.MinMS, *runsFlag)
+		if b, ok := baseline[id]; ok && b > 0 {
+			e.BaselineMS = b
+			e.DeltaPct = (e.MinMS - b) / b * 100
+			line += fmt.Sprintf("   baseline %8.1f ms   delta %+6.1f%%", b, e.DeltaPct)
+		}
+		fmt.Fprintln(stdout, line)
+		art.TotalMinMS += e.MinMS
+		art.Experiments = append(art.Experiments, e)
+	}
+	if baselineTotal > 0 {
+		art.BaselineTotalMS = baselineTotal
+		art.DeltaPct = (art.TotalMinMS - baselineTotal) / baselineTotal * 100
+		fmt.Fprintf(stdout, "%-18s %8.1f ms             baseline %8.1f ms   delta %+6.1f%%\n",
+			"total", art.TotalMinMS, baselineTotal, art.DeltaPct)
+	} else {
+		fmt.Fprintf(stdout, "%-18s %8.1f ms\n", "total", art.TotalMinMS)
+	}
+
+	if *outFlag != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "benchcompare: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*outFlag, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "benchcompare: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *outFlag)
+	}
+	return 0
+}
+
+func readArtifact(path string) (Artifact, error) {
+	var a Artifact
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return a, err
+	}
+	if err := json.Unmarshal(data, &a); err != nil {
+		return a, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}

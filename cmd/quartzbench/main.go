@@ -128,10 +128,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Observability: one shared recorder collects the whole suite — runner
 	// job outcomes directly, and per-epoch ledger records from every
 	// emulator the experiment jobs attach (via the process-global default,
-	// since jobs construct their environments internally). See
+	// since jobs construct their environments internally). -progress also
+	// attaches one so its lines can report live emulation rates. See
 	// doc/observability.md.
 	var rec *obs.Recorder
-	if *traceFlag != "" || *metricsFlag || *metricsOut != "" {
+	if *traceFlag != "" || *metricsFlag || *metricsOut != "" || *progressFlag {
 		rec = obs.New(0)
 		obs.SetDefault(rec)
 		defer obs.SetDefault(nil)
@@ -151,9 +152,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Sink = runner.NewSink(jf)
 	}
 	if *progressFlag {
+		// Each progress line carries the recorder's live aggregates: epochs
+		// closed so far, the wall-clock epoch-close rate, and how much virtual
+		// delay the emulators have injected (with its share of the computed
+		// delay — below 100% means overhead amortization withheld some).
+		progressStart := time.Now()
+		reg := rec.Registry()
+		epochs := reg.Counter("quartz.epochs.closed")
+		computed := reg.Counter("quartz.delay.computed_ns")
+		injected := reg.Counter("quartz.delay.injected_ns")
 		cfg.OnProgress = func(p runner.Progress) {
-			fmt.Fprintf(stderr, "[%d/%d] %s %s (%.1fs, %d failed)\n",
-				p.Done, p.Total, p.Last.JobID, p.Last.Status, p.Last.Wall.Seconds(), p.Failed)
+			elapsed := time.Since(progressStart).Seconds()
+			if elapsed <= 0 {
+				elapsed = 1e-9
+			}
+			ep := epochs.Value()
+			injNs, compNs := injected.Value(), computed.Value()
+			injShare := 100.0
+			if compNs > 0 {
+				injShare = float64(injNs) / float64(compNs) * 100
+			}
+			fmt.Fprintf(stderr, "[%d/%d] %s %s (%.1fs, %d failed) | %d epochs (%.0f/s), %.1fms delay injected (%.0f%% of computed)\n",
+				p.Done, p.Total, p.Last.JobID, p.Last.Status, p.Last.Wall.Seconds(), p.Failed,
+				ep, float64(ep)/elapsed, float64(injNs)/1e6, injShare)
 		}
 	}
 

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/quartz-emu/quartz/internal/sim"
 	"github.com/quartz-emu/quartz/internal/simos"
@@ -112,10 +113,34 @@ func (b *MemLat) Run(t *simos.Thread) MemLatResult {
 	}
 }
 
+// permCache memoizes permutationCycle results. Workload construction is
+// fully seeded, so the same (n, seed) chain is rebuilt for every trial and
+// every sweep point of an experiment; the successor arrays are treated as
+// read-only by every consumer, so trials (including parallel runner jobs)
+// can share one copy. The key space is bounded by the experiment configs.
+var permCache sync.Map // permKey -> []int32
+
+type permKey struct {
+	n    int
+	seed int64
+}
+
 // permutationCycle builds a single-cycle successor array over n slots using
 // a seeded splitmix-style shuffle, so a chase visits every element exactly
-// once before repeating.
+// once before repeating. The returned slice is shared and must not be
+// mutated.
 func permutationCycle(n int, seed int64) []int32 {
+	key := permKey{n, seed}
+	if v, ok := permCache.Load(key); ok {
+		return v.([]int32)
+	}
+	next := buildPermutationCycle(n, seed)
+	permCache.Store(key, next)
+	return next
+}
+
+// buildPermutationCycle is the uncached construction.
+func buildPermutationCycle(n int, seed int64) []int32 {
 	perm := make([]int32, n)
 	for i := range perm {
 		perm[i] = int32(i)

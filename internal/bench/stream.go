@@ -67,16 +67,13 @@ func RunStream(env *Env, main *simos.Thread, cfg StreamConfig) (StreamResult, er
 			hi = cfg.Lines
 		}
 		th, err := main.CreateThread(fmt.Sprintf("stream-%d", w), func(t *simos.Thread) {
-			batch := make([]uintptr, 0, cfg.Batch)
 			for i := lo; i < hi; i += cfg.Batch {
-				batch = batch[:0]
-				for j := i; j < i+cfg.Batch && j < hi; j++ {
-					batch = append(batch, src+uintptr(j)*64)
+				n := cfg.Batch
+				if i+n > hi {
+					n = hi - i
 				}
-				t.LoadGroup(batch)
-				for j := i; j < i+cfg.Batch && j < hi; j++ {
-					t.Store(dst + uintptr(j)*64)
-				}
+				t.LoadGroupRun(src+uintptr(i)*64, 64, n)
+				t.StoreRun(dst+uintptr(i)*64, 64, n)
 			}
 		})
 		if err != nil {

@@ -2,10 +2,23 @@
 // replacement, in-flight fill tracking (so a prefetched line that has not
 // yet arrived still charges partial latency), explicit line flushes
 // (clflush/clflushopt), and a simple stream prefetcher.
+//
+// The storage layout is optimized for the simulator's hot path: instead of
+// an array of per-line structs, the cache keeps parallel arrays so that the
+// set walk — the single hottest loop in the whole simulation — scans a
+// compact tag vector (8 bytes per way) rather than 32-byte records. A
+// per-set MRU way hint resolves the common repeat-hit in one probe, and a
+// cache-global last-hit fast path (TouchLast) lets the CPU layer skip the
+// walk entirely for consecutive accesses to the same line. Every fast path
+// performs bit-identical bookkeeping to the plain walk: hit/miss outcomes,
+// LRU clocks, statistics and in-flight arrival accounting are unchanged, so
+// simulated virtual time is unaffected (the determinism gate the
+// equivalence tests pin down).
 package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"github.com/quartz-emu/quartz/internal/sim"
 )
@@ -52,22 +65,32 @@ type Eviction struct {
 	Dirty bool
 }
 
-type line struct {
-	tag     uintptr
-	valid   bool
-	dirty   bool
-	lastUse uint64
-	arrival sim.Time // fill arrival; reads before this wait the remainder
-}
-
 // Cache is one set-associative write-back cache level.
+//
+// Line state is held in parallel arrays indexed by set*ways+way. tags holds
+// tag+1 so that zero means "invalid way" — one comparison covers both the
+// validity and the tag check during the walk.
 type Cache struct {
 	cfg     Config
-	sets    []line // numSets * ways, row-major
-	numSets int
-	setMask int // numSets-1 when numSets is a power of two, else 0
-	useClk  uint64
-	stats   Stats
+	tags    []uintptr  // tag+1 per way; 0 = invalid
+	dirty   []bool     // per way
+	lastUse []uint64   // per way; LRU clock value of the last touch
+	arrival []sim.Time // per way; fill arrival time
+	mru     []int32    // per set; way of the most recent hit/insert
+
+	numSets   int
+	ways      int
+	setMask   int  // numSets-1 when numSets is a power of two, else 0
+	lineShift uint // log2(LineSize) when it is a power of two
+	linePow2  bool
+
+	// lastIdx/lastTag remember the most recently hit (or inserted) line for
+	// the TouchLast fast path; lastIdx is -1 when no such line is valid.
+	lastIdx int
+	lastTag uintptr
+
+	useClk uint64
+	stats  Stats
 }
 
 // New builds a cache from cfg.
@@ -81,16 +104,31 @@ func New(cfg Config) (*Cache, error) {
 	if numSets&(numSets-1) == 0 {
 		mask = numSets - 1
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:     cfg,
-		sets:    make([]line, lines),
+		tags:    make([]uintptr, lines),
+		dirty:   make([]bool, lines),
+		lastUse: make([]uint64, lines),
+		arrival: make([]sim.Time, lines),
+		mru:     make([]int32, numSets),
 		numSets: numSets,
+		ways:    cfg.Ways,
 		setMask: mask,
-	}, nil
+		lastIdx: -1,
+	}
+	if cfg.LineSize&(cfg.LineSize-1) == 0 {
+		c.lineShift = uint(bits.TrailingZeros(uint(cfg.LineSize)))
+		c.linePow2 = true
+	}
+	return c, nil
 }
 
 // Config reports the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
+
+// LookupLat reports the level's probe latency without copying the whole
+// configuration (the hot-path accessor for the CPU walk).
+func (c *Cache) LookupLat() sim.Time { return c.cfg.LookupLat }
 
 // Stats returns a copy of the accumulated statistics.
 func (c *Cache) Stats() Stats { return c.stats }
@@ -102,48 +140,91 @@ func (c *Cache) lineAddr(addr uintptr) uintptr {
 	return addr &^ uintptr(c.cfg.LineSize-1)
 }
 
-func (c *Cache) setOf(tag uintptr) []line {
-	var idx int
-	if c.setMask != 0 {
-		idx = int(tag) & c.setMask
-	} else {
-		idx = int(tag % uintptr(c.numSets))
+// tagOf maps an address to its line tag (addr / LineSize; a shift when the
+// line size is a power of two — unsigned division and shift agree exactly).
+func (c *Cache) tagOf(addr uintptr) uintptr {
+	if c.linePow2 {
+		return addr >> c.lineShift
 	}
-	return c.sets[idx*c.cfg.Ways : (idx+1)*c.cfg.Ways]
+	return addr / uintptr(c.cfg.LineSize)
+}
+
+// setOf maps a tag to its set index.
+func (c *Cache) setOf(tag uintptr) int {
+	if c.setMask != 0 {
+		return int(tag) & c.setMask
+	}
+	return int(tag % uintptr(c.numSets))
+}
+
+// hitAt performs the bookkeeping of a hit on the way at index idx and
+// returns the residual in-flight wait. It is the single shared hit path, so
+// the MRU probe, the walk and TouchLast are bit-identical by construction.
+func (c *Cache) hitAt(idx int, tag uintptr, now sim.Time, markDirty bool) (wait sim.Time) {
+	c.useClk++
+	c.lastUse[idx] = c.useClk
+	if markDirty {
+		c.dirty[idx] = true
+	}
+	c.stats.Hits++
+	c.lastIdx = idx
+	c.lastTag = tag
+	if a := c.arrival[idx]; a > now {
+		return a - now
+	}
+	return 0
 }
 
 // Lookup probes the cache at virtual time now. On a hit it updates LRU state
 // and returns any residual wait for an in-flight fill (zero once the line
 // has fully arrived). markDirty additionally dirties the line (a store hit).
 func (c *Cache) Lookup(addr uintptr, now sim.Time, markDirty bool) (hit bool, wait sim.Time) {
-	tag := addr / uintptr(c.cfg.LineSize)
+	tag := c.tagOf(addr)
 	set := c.setOf(tag)
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.tag == tag {
-			c.useClk++
-			l.lastUse = c.useClk
-			if markDirty {
-				l.dirty = true
-			}
-			c.stats.Hits++
-			if l.arrival > now {
-				return true, l.arrival - now
-			}
-			return true, 0
+	base := set * c.ways
+	want := tag + 1
+	// MRU probe: the way that hit last time in this set.
+	if m := base + int(c.mru[set]); c.tags[m] == want {
+		wait = c.hitAt(m, tag, now, markDirty)
+		return true, wait
+	}
+	for i, t := range c.tags[base : base+c.ways] {
+		if t == want {
+			idx := base + i
+			c.mru[set] = int32(i)
+			wait = c.hitAt(idx, tag, now, markDirty)
+			return true, wait
 		}
 	}
 	c.stats.Misses++
 	return false, 0
 }
 
+// TouchLast re-hits the cache's most recently hit or filled line when addr
+// still maps to it, performing bookkeeping identical to Lookup, and reports
+// ok=false (with no side effects) otherwise. It lets the CPU's per-core
+// last-line filter skip the set walk for consecutive same-line accesses.
+func (c *Cache) TouchLast(addr uintptr, now sim.Time, markDirty bool) (wait sim.Time, ok bool) {
+	tag := c.tagOf(addr)
+	idx := c.lastIdx
+	if idx < 0 || c.tags[idx] != tag+1 {
+		return 0, false
+	}
+	return c.hitAt(idx, tag, now, markDirty), true
+}
+
 // Contains reports whether the line holding addr is present, without
 // touching LRU or statistics.
 func (c *Cache) Contains(addr uintptr) bool {
-	tag := addr / uintptr(c.cfg.LineSize)
+	tag := c.tagOf(addr)
 	set := c.setOf(tag)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	base := set * c.ways
+	want := tag + 1
+	if c.tags[base+int(c.mru[set])] == want {
+		return true
+	}
+	for _, t := range c.tags[base : base+c.ways] {
+		if t == want {
 			return true
 		}
 	}
@@ -155,42 +236,68 @@ func (c *Cache) Contains(addr uintptr) bool {
 // prefetches arrive later). The displaced line, if any, is returned so the
 // caller can issue a writeback.
 func (c *Cache) Insert(addr uintptr, dirty bool, arrival sim.Time) (ev Eviction, evicted bool) {
-	tag := addr / uintptr(c.cfg.LineSize)
+	tag := c.tagOf(addr)
 	set := c.setOf(tag)
-	victim := -1
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.tag == tag {
+	base := set * c.ways
+	want := tag + 1
+	// First pass touches only the tag vector: it finds a matching way
+	// (already present) or the first invalid way. The LRU min-scan over
+	// lastUse runs separately and only when the set is full — the same
+	// victim the reference single-pass walk selected (first invalid way,
+	// else strict minimum lastUse with earliest-index tiebreak), but the
+	// common steady-state insert streams through two compact vectors
+	// instead of interleaving loads and data-dependent branches.
+	firstInvalid := -1
+	for i, t := range c.tags[base : base+c.ways] {
+		if t == want {
 			// Already present (e.g. racing prefetch): refresh.
+			idx := base + i
 			c.useClk++
-			l.lastUse = c.useClk
-			l.dirty = l.dirty || dirty
-			if arrival < l.arrival {
-				l.arrival = arrival
+			c.lastUse[idx] = c.useClk
+			c.dirty[idx] = c.dirty[idx] || dirty
+			if arrival < c.arrival[idx] {
+				c.arrival[idx] = arrival
 			}
+			c.mru[set] = int32(i)
+			c.lastIdx = idx
+			c.lastTag = tag
 			return Eviction{}, false
 		}
-		if !l.valid {
-			if victim == -1 || set[victim].valid {
-				victim = i
-			}
-			continue
-		}
-		if victim == -1 || (set[victim].valid && l.lastUse < set[victim].lastUse) {
-			victim = i
+		if t == 0 && firstInvalid == -1 {
+			firstInvalid = base + i
 		}
 	}
-	v := &set[victim]
-	if v.valid {
+	victim := firstInvalid
+	if victim == -1 {
+		lu := c.lastUse[base : base+c.ways]
+		victim = base
+		min := lu[0]
+		for i := 1; i < len(lu); i++ {
+			if lu[i] < min {
+				min = lu[i]
+				victim = base + i
+			}
+		}
+	}
+	if c.tags[victim] != 0 {
 		c.stats.Evictions++
-		if v.dirty {
+		if c.dirty[victim] {
 			c.stats.DirtyEvictions++
 		}
-		ev = Eviction{Addr: v.tag * uintptr(c.cfg.LineSize), Dirty: v.dirty}
+		ev = Eviction{Addr: (c.tags[victim] - 1) * uintptr(c.cfg.LineSize), Dirty: c.dirty[victim]}
 		evicted = true
+		if c.lastIdx == victim {
+			c.lastIdx = -1
+		}
 	}
 	c.useClk++
-	*v = line{tag: tag, valid: true, dirty: dirty, lastUse: c.useClk, arrival: arrival}
+	c.tags[victim] = want
+	c.dirty[victim] = dirty
+	c.lastUse[victim] = c.useClk
+	c.arrival[victim] = arrival
+	c.mru[set] = int32(victim - base)
+	c.lastIdx = victim
+	c.lastTag = tag
 	return ev, evicted
 }
 
@@ -198,14 +305,21 @@ func (c *Cache) Insert(addr uintptr, dirty bool, arrival sim.Time) (ev Eviction,
 // and whether it was dirty (and therefore needs a writeback). This models
 // clflush/clflushopt.
 func (c *Cache) Flush(addr uintptr) (present, dirty bool) {
-	tag := addr / uintptr(c.cfg.LineSize)
-	set := c.setOf(tag)
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.tag == tag {
+	tag := c.tagOf(addr)
+	base := c.setOf(tag) * c.ways
+	want := tag + 1
+	for i, t := range c.tags[base : base+c.ways] {
+		if t == want {
+			idx := base + i
 			c.stats.Flushes++
-			present, dirty = true, l.dirty
-			*l = line{}
+			present, dirty = true, c.dirty[idx]
+			c.tags[idx] = 0
+			c.dirty[idx] = false
+			c.lastUse[idx] = 0
+			c.arrival[idx] = 0
+			if c.lastIdx == idx {
+				c.lastIdx = -1
+			}
 			return present, dirty
 		}
 	}
@@ -216,13 +330,19 @@ func (c *Cache) Flush(addr uintptr) (present, dirty bool) {
 // caller can model writeback traffic. It is used to model cache invalidation
 // between experiment trials.
 func (c *Cache) InvalidateAll() []uintptr {
-	var dirty []uintptr
-	for i := range c.sets {
-		l := &c.sets[i]
-		if l.valid && l.dirty {
-			dirty = append(dirty, l.tag*uintptr(c.cfg.LineSize))
+	var dirtyAddrs []uintptr
+	for i, t := range c.tags {
+		if t != 0 && c.dirty[i] {
+			dirtyAddrs = append(dirtyAddrs, (t-1)*uintptr(c.cfg.LineSize))
 		}
-		*l = line{}
+		c.tags[i] = 0
+		c.dirty[i] = false
+		c.lastUse[i] = 0
+		c.arrival[i] = 0
 	}
-	return dirty
+	for i := range c.mru {
+		c.mru[i] = 0
+	}
+	c.lastIdx = -1
+	return dirtyAddrs
 }

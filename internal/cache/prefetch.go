@@ -11,19 +11,29 @@ package cache
 // PageRank's edge arrays) insensitive to moderate latency increases but
 // increasingly exposed as emulated NVM latency grows — the non-linearity in
 // the paper's Figure 16.
+//
+// The table is laid out for Observe's hot path. Stream state lives in
+// parallel fixed-size arrays (the scan reads compact per-field vectors
+// instead of 48-byte records), and recency is an intrusive doubly-linked
+// list over the slots instead of per-stream timestamps: every stream touch
+// moves its slot to the MRU end, so the LRU victim is the list head in O(1)
+// rather than a min-scan. Touch order is exactly increasing last-use time
+// (one stream is touched per Observe), so the head is always the stream the
+// reference timestamp min-scan would have picked. Invalid slots fill in
+// index order — allocation only ever appends — so "first invalid way" is
+// simply the next unused index.
 type Prefetcher struct {
-	streams []stream
-	depth   int
-	clk     uint64
-}
+	depth int
 
-type stream struct {
-	lastLine   uintptr
-	dir        int // +1 ascending, -1 descending
-	confidence int
-	lastPF     uintptr // furthest line already proposed
-	lastUse    uint64
-	valid      bool
+	lastLine   [maxStreams]uintptr
+	lastPF     [maxStreams]uintptr // furthest line already proposed
+	dir        [maxStreams]int8    // +1 ascending, -1 descending
+	confidence [maxStreams]int8
+
+	// Recency list over the first nValid slots; head is LRU, tail is MRU.
+	prev, next       [maxStreams]int8
+	lruHead, lruTail int8
+	nValid           int8
 }
 
 // prefetchConfidence is how many consecutive unit-stride hits arm a stream.
@@ -35,93 +45,130 @@ const maxStreams = 16
 // NewPrefetcher builds a stream prefetcher that runs depth lines ahead of a
 // detected stream. A depth of zero disables prefetching.
 func NewPrefetcher(depth int) *Prefetcher {
-	return &Prefetcher{depth: depth, streams: make([]stream, maxStreams)}
+	return &Prefetcher{depth: depth, lruHead: -1, lruTail: -1}
 }
 
 // Depth reports the configured prefetch distance in lines.
 func (p *Prefetcher) Depth() int { return p.depth }
 
+// touch moves an in-list stream slot to the MRU end of the recency list.
+func (p *Prefetcher) touch(i int) {
+	if int8(i) == p.lruTail {
+		return
+	}
+	pr, nx := p.prev[i], p.next[i]
+	if pr >= 0 {
+		p.next[pr] = nx
+	} else {
+		p.lruHead = nx
+	}
+	p.prev[nx] = pr // i is not the tail, so nx >= 0
+	p.prev[i] = p.lruTail
+	p.next[i] = -1
+	p.next[p.lruTail] = int8(i)
+	p.lruTail = int8(i)
+}
+
+// enlist appends a not-yet-listed slot at the MRU end.
+func (p *Prefetcher) enlist(i int) {
+	p.prev[i] = p.lruTail
+	p.next[i] = -1
+	if p.lruTail >= 0 {
+		p.next[p.lruTail] = int8(i)
+	} else {
+		p.lruHead = int8(i)
+	}
+	p.lruTail = int8(i)
+}
+
 // Observe records a demand access to the given line address and returns the
 // line addresses that should be prefetched (possibly none).
+//
+// The reference logic is three sequential scans over the stream table:
+// continuations (and repeats) first, then embryonic-stream pairing, then
+// victim allocation (first invalid slot, else LRU). One merged pass
+// collects the first continuation match (stopping there — nothing later in
+// the table can matter) and the first pairing match; the victim needs no
+// scan at all (see the recency list above). Stream-state evolution is
+// identical to the reference at a fraction of the table traffic, which
+// matters because random access patterns (pointer chases) take the
+// allocation path on every single load.
 func (p *Prefetcher) Observe(lineAddr uintptr) []uintptr {
 	if p.depth <= 0 {
 		return nil
 	}
-	p.clk++
-	// Find a stream this access continues.
-	for i := range p.streams {
-		s := &p.streams[i]
-		if !s.valid {
-			continue
-		}
-		var next uintptr
-		if s.dir > 0 {
-			next = s.lastLine + 1
-		} else {
-			next = s.lastLine - 1
-		}
-		if lineAddr == next {
-			s.lastLine = lineAddr
-			s.lastUse = p.clk
-			if s.confidence < prefetchConfidence {
-				s.confidence++
-			}
-			if s.confidence >= prefetchConfidence {
-				return p.propose(s, lineAddr)
-			}
-			return nil
-		}
-		if lineAddr == s.lastLine { // repeated access; refresh recency
-			s.lastUse = p.clk
-			return nil
-		}
-	}
-	// Try to pair with an existing embryonic stream head (stride ±1 from a
-	// tracked line in either direction establishes direction).
-	for i := range p.streams {
-		s := &p.streams[i]
-		if !s.valid || s.confidence >= prefetchConfidence {
-			continue
-		}
-		switch lineAddr {
-		case s.lastLine + 1:
-			s.dir, s.lastLine, s.confidence, s.lastUse = +1, lineAddr, prefetchConfidence, p.clk
-			return p.propose(s, lineAddr)
-		case s.lastLine - 1:
-			s.dir, s.lastLine, s.confidence, s.lastUse = -1, lineAddr, prefetchConfidence, p.clk
-			return p.propose(s, lineAddr)
-		}
-	}
-	// Allocate a new stream over the least recently used slot.
-	victim := 0
-	for i := range p.streams {
-		if !p.streams[i].valid {
-			victim = i
+	cont := -1 // first stream this access continues (or repeats)
+	pair := -1 // first embryonic stream this access pairs with
+	var pairDir int8
+	n := int(p.nValid)
+	for i := 0; i < n; i++ {
+		last := p.lastLine[i]
+		if lineAddr == last+uintptr(int(p.dir[i])) || lineAddr == last {
+			cont = i
 			break
 		}
-		if p.streams[i].lastUse < p.streams[victim].lastUse {
-			victim = i
+		if pair == -1 && p.confidence[i] < prefetchConfidence {
+			switch lineAddr {
+			case last + 1:
+				pair, pairDir = i, +1
+			case last - 1:
+				pair, pairDir = i, -1
+			}
 		}
 	}
-	p.streams[victim] = stream{lastLine: lineAddr, dir: +1, confidence: 1, lastUse: p.clk, valid: true}
-	return nil
+	switch {
+	case cont != -1:
+		p.touch(cont)
+		if lineAddr == p.lastLine[cont] { // repeated access; refresh recency
+			return nil
+		}
+		p.lastLine[cont] = lineAddr
+		if p.confidence[cont] < prefetchConfidence {
+			p.confidence[cont]++
+		}
+		if p.confidence[cont] >= prefetchConfidence {
+			return p.propose(cont, lineAddr)
+		}
+		return nil
+	case pair != -1:
+		p.touch(pair)
+		p.dir[pair] = pairDir
+		p.lastLine[pair] = lineAddr
+		p.confidence[pair] = prefetchConfidence
+		return p.propose(pair, lineAddr)
+	default:
+		var v int
+		if int(p.nValid) < maxStreams {
+			v = int(p.nValid)
+			p.nValid++
+			p.enlist(v)
+		} else {
+			v = int(p.lruHead)
+			p.touch(v)
+		}
+		p.lastLine[v] = lineAddr
+		p.lastPF[v] = 0
+		p.dir[v] = 1
+		p.confidence[v] = 1
+		return nil
+	}
 }
 
-// propose returns the lines between the stream's prefetch frontier and
+// propose returns the lines between stream i's prefetch frontier and
 // lineAddr+depth (in stream direction), advancing the frontier.
-func (p *Prefetcher) propose(s *stream, lineAddr uintptr) []uintptr {
+func (p *Prefetcher) propose(i int, lineAddr uintptr) []uintptr {
 	var out []uintptr
-	if s.dir > 0 {
+	if p.dir[i] > 0 {
 		target := lineAddr + uintptr(p.depth)
 		start := lineAddr + 1
-		if s.lastPF >= start && s.lastPF <= target {
-			start = s.lastPF + 1
+		if pf := p.lastPF[i]; pf >= start && pf <= target {
+			start = pf + 1
 		}
 		for l := start; l <= target; l++ {
 			out = append(out, l)
 		}
-		if target > s.lastPF {
-			s.lastPF = target
+		if target > p.lastPF[i] {
+			p.lastPF[i] = target
 		}
 	} else {
 		if lineAddr < uintptr(p.depth) {
@@ -129,8 +176,8 @@ func (p *Prefetcher) propose(s *stream, lineAddr uintptr) []uintptr {
 		}
 		target := lineAddr - uintptr(p.depth)
 		start := lineAddr - 1
-		if s.lastPF != 0 && s.lastPF <= start && s.lastPF >= target {
-			start = s.lastPF - 1
+		if pf := p.lastPF[i]; pf != 0 && pf <= start && pf >= target {
+			start = pf - 1
 		}
 		for l := start; l >= target; l-- {
 			out = append(out, l)
@@ -138,8 +185,8 @@ func (p *Prefetcher) propose(s *stream, lineAddr uintptr) []uintptr {
 				break
 			}
 		}
-		if s.lastPF == 0 || target < s.lastPF {
-			s.lastPF = target
+		if p.lastPF[i] == 0 || target < p.lastPF[i] {
+			p.lastPF[i] = target
 		}
 	}
 	return out

@@ -7,6 +7,7 @@ package cpu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"github.com/quartz-emu/quartz/internal/cache"
 	"github.com/quartz-emu/quartz/internal/mem"
@@ -96,6 +97,12 @@ type Core struct {
 	ctr    *perf.Counters
 	memsys MemorySystem
 	dvfs   *DVFS
+
+	// Hot-path caches: the per-level probe latencies (so the walk does not
+	// copy a Config struct per probe) and the line-address shift.
+	l1Lat, l2Lat, l3Lat sim.Time
+	lineShift           uint
+	linePow2            bool
 }
 
 // NewCore assembles a core. l3 is the socket-shared last-level cache; ctr is
@@ -107,14 +114,22 @@ func NewCore(id, socket int, cfg Config, l1, l2, l3 *cache.Cache, ctr *perf.Coun
 	if l1 == nil || l2 == nil || l3 == nil || ctr == nil || memsys == nil {
 		return nil, fmt.Errorf("cpu: core %d: nil component", id)
 	}
-	return &Core{
+	c := &Core{
 		id: id, socket: socket, cfg: cfg,
 		l1: l1, l2: l2, l3: l3,
 		pf:     cache.NewPrefetcher(cfg.PrefetchDepth),
 		ctr:    ctr,
 		memsys: memsys,
 		dvfs:   dvfs,
-	}, nil
+		l1Lat:  l1.LookupLat(),
+		l2Lat:  l2.LookupLat(),
+		l3Lat:  l3.LookupLat(),
+	}
+	if cfg.LineSize&(cfg.LineSize-1) == 0 {
+		c.lineShift = uint(bits.TrailingZeros(uint(cfg.LineSize)))
+		c.linePow2 = true
+	}
+	return c, nil
 }
 
 // ID reports the core id.
@@ -175,9 +190,59 @@ func (c *Core) effectiveFreq(now sim.Time) float64 {
 // and serving source. Counter state (L3 hits/misses, stall cycles) is
 // updated as a side effect.
 func (c *Core) Load(now sim.Time, addr uintptr) (sim.Time, Source) {
+	// Last-line filter: a repeat access to the most recently touched L1
+	// line skips the hierarchy walk. TouchLast performs the exact hit
+	// bookkeeping Lookup would, and L1 hits record no stall, so the fast
+	// path is bit-identical to the walk below.
+	if wait, ok := c.l1.TouchLast(addr, now+c.l1Lat, false); ok {
+		return c.l1Lat + wait, SrcL1
+	}
 	lat, src := c.loadOne(now, addr)
 	c.recordStall(now, lat, src)
 	return lat, src
+}
+
+// loadFast is loadOne behind the last-line filter (no stall accounting).
+func (c *Core) loadFast(now sim.Time, addr uintptr) (sim.Time, Source) {
+	if wait, ok := c.l1.TouchLast(addr, now+c.l1Lat, false); ok {
+		return c.l1Lat + wait, SrcL1
+	}
+	return c.loadOne(now, addr)
+}
+
+// LoadRun performs n demand loads at addresses base, base+stride, …, each
+// issued only after the previous completes (a dependent scan, no
+// memory-level parallelism), and returns the total latency. It is
+// behaviorally identical to n Load calls with the clock advanced by each
+// load's latency in between; the batched entry point exists so tight scan
+// loops pay one call instead of n and benefit from the last-line filter
+// when consecutive elements share a 64B line.
+func (c *Core) LoadRun(now sim.Time, base, stride uintptr, n int) sim.Time {
+	var total sim.Time
+	for ; n > 0; n-- {
+		lat, src := c.loadFast(now, base)
+		if src >= SrcL3 {
+			c.ctr.AddStallCycles(sim.TimeToCycles(lat, c.effectiveFreq(now)))
+		}
+		now += lat
+		total += lat
+		base += stride
+	}
+	return total
+}
+
+// StoreRun performs n posted stores at addresses base, base+stride, …,
+// with the clock advanced by each store's pipeline latency in between,
+// returning the total. Identical to n sequential Store calls.
+func (c *Core) StoreRun(now sim.Time, base, stride uintptr, n int) sim.Time {
+	var total sim.Time
+	for ; n > 0; n-- {
+		lat := c.Store(now, base)
+		now += lat
+		total += lat
+		base += stride
+	}
+	return total
 }
 
 // LoadGroup performs len(addrs) independent demand loads issued in parallel
@@ -197,7 +262,40 @@ func (c *Core) LoadGroup(now sim.Time, addrs []uintptr) sim.Time {
 		addrs = addrs[len(wave):]
 		var waveLat, waveStall sim.Time
 		for _, a := range wave {
-			lat, src := c.loadOne(start, a)
+			lat, src := c.loadFast(start, a)
+			if lat > waveLat {
+				waveLat = lat
+			}
+			if src >= SrcL3 && lat > waveStall {
+				waveStall = lat
+			}
+		}
+		if waveStall > 0 {
+			c.ctr.AddStallCycles(sim.TimeToCycles(waveStall, c.effectiveFreq(start)))
+		}
+		start += waveLat
+		total += waveLat
+	}
+	return total
+}
+
+// LoadGroupRun is LoadGroup over the arithmetic address sequence base,
+// base+stride, …, base+(n-1)*stride, sparing streaming callers the
+// address-slice rebuild on every batch. Wave structure, stall attribution
+// and latencies are identical to LoadGroup over the same addresses.
+func (c *Core) LoadGroupRun(now sim.Time, base, stride uintptr, n int) sim.Time {
+	var total sim.Time
+	start := now
+	for n > 0 {
+		wave := n
+		if wave > c.cfg.MSHRs {
+			wave = c.cfg.MSHRs
+		}
+		n -= wave
+		var waveLat, waveStall sim.Time
+		for ; wave > 0; wave-- {
+			lat, src := c.loadFast(start, base)
+			base += stride
 			if lat > waveLat {
 				waveLat = lat
 			}
@@ -221,22 +319,26 @@ func (c *Core) LoadGroup(now sim.Time, addrs []uintptr) sim.Time {
 // no stall cycles are recorded — the property that makes pflush necessary
 // for persistent-memory write modeling (§3.1).
 func (c *Core) Store(now sim.Time, addr uintptr) sim.Time {
-	l1Lat := c.l1.Config().LookupLat
+	// Last-line filter: a repeat store to the most recently touched L1 line
+	// dirties it with the exact bookkeeping Lookup would perform.
+	if _, ok := c.l1.TouchLast(addr, now, true); ok {
+		return c.l1Lat
+	}
 	if hit, _ := c.l1.Lookup(addr, now, true); hit {
-		return l1Lat
+		return c.l1Lat
 	}
 	// Write-allocate: fetch the line in the background.
 	if hit, _ := c.l2.Lookup(addr, now, false); hit {
 		c.fill(now, addr, true, now, false)
-		return l1Lat
+		return c.l1Lat
 	}
 	if hit, _ := c.l3.Lookup(addr, now, false); hit {
 		c.fill(now, addr, true, now, false)
-		return l1Lat
+		return c.l1Lat
 	}
 	done := c.memsys.Access(now, addr, mem.Write, c.socket)
 	c.fill(now, addr, true, done, true)
-	return l1Lat
+	return c.l1Lat
 }
 
 // Flush writes back (if dirty) and invalidates the line holding addr from
@@ -266,12 +368,12 @@ func (c *Core) Flush(now sim.Time, addr uintptr) (lat, writebackDone sim.Time) {
 func (c *Core) loadOne(now sim.Time, addr uintptr) (sim.Time, Source) {
 	t := now
 
-	t += c.l1.Config().LookupLat
+	t += c.l1Lat
 	if hit, wait := c.l1.Lookup(addr, t, false); hit {
 		return t + wait - now, SrcL1
 	}
 
-	t += c.l2.Config().LookupLat
+	t += c.l2Lat
 	if hit, wait := c.l2.Lookup(addr, t, false); hit {
 		t += wait
 		c.promote(now, addr, t)
@@ -282,7 +384,7 @@ func (c *Core) loadOne(now sim.Time, addr uintptr) (sim.Time, Source) {
 		return t - now, SrcL2
 	}
 
-	t += c.l3.Config().LookupLat
+	t += c.l3Lat
 	if hit, wait := c.l3.Lookup(addr, t, false); hit {
 		t += wait
 		// Loads served by a still-in-flight fill (typically started by
@@ -290,7 +392,7 @@ func (c *Core) loadOne(now sim.Time, addr uintptr) (sim.Time, Source) {
 		// the Table 1 hit events deliberately exclude them, so their
 		// near-memory-latency stalls are not discounted by Eq. 3's
 		// hit/miss weighting.
-		if wait <= c.l3.Config().LookupLat {
+		if wait <= c.l3Lat {
 			c.ctr.CountL3Hit()
 		}
 		c.promote(now, addr, t)
@@ -352,7 +454,13 @@ func (c *Core) prefetch(now sim.Time, addr uintptr) {
 		return
 	}
 	lineSize := uintptr(c.cfg.LineSize)
-	for _, line := range c.pf.Observe(addr / lineSize) {
+	var line uintptr
+	if c.linePow2 {
+		line = addr >> c.lineShift
+	} else {
+		line = addr / lineSize
+	}
+	for _, line := range c.pf.Observe(line) {
 		pAddr := line * lineSize
 		if c.l3.Contains(pAddr) || c.l2.Contains(pAddr) {
 			continue

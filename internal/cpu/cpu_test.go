@@ -35,7 +35,7 @@ func (f *fakeMem) Access(now sim.Time, addr uintptr, kind mem.AccessKind, fromSo
 	return now + lat
 }
 
-func testCore(t *testing.T, prefetchDepth int) (*Core, *fakeMem) {
+func testCore(t testing.TB, prefetchDepth int) (*Core, *fakeMem) {
 	t.Helper()
 	mk := func(name string, size, ways int, lat sim.Time) *cache.Cache {
 		c, err := cache.New(cache.Config{Name: name, SizeBytes: size, Ways: ways, LineSize: 64, LookupLat: lat})

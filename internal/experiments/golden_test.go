@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden experiment tables")
+
+// TestGoldenTables pins the rendered output of representative experiments at
+// tiny scale against committed golden files. Experiment tables are
+// virtual-time measurements and must be byte-identical run to run — this is
+// the determinism gate the hot-path optimizations are held to. Regenerate
+// with `go test ./internal/experiments -run TestGoldenTables -update` and
+// review the diff: any change means simulated timing changed.
+func TestGoldenTables(t *testing.T) {
+	// One latency sweep (epoch machinery, MemLat), one bandwidth sweep
+	// (throttle registers, STREAM), one application (caches, prefetcher,
+	// scheduler under multiple threads).
+	for _, id := range []string{"fig11", "fig8", "fig16"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tab, err := Run(id, tiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := tab.Render()
+			path := filepath.Join("testdata", id+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("rendered table differs from %s:\ngot:\n%s\nwant:\n%s", path, got, want)
+			}
+		})
+	}
+}

@@ -10,7 +10,9 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 
+	"github.com/quartz-emu/quartz/internal/obs"
 	"github.com/quartz-emu/quartz/internal/sim"
 )
 
@@ -100,6 +102,13 @@ type Controller struct {
 	throttleWrite uint16
 	nextFree      []sim.Time
 	stats         Stats
+
+	// occRead/occWrite cache the per-access channel occupancy (the token
+	// bucket's drain per line) so Access does one lookup instead of a float
+	// division; they are refilled whenever a throttle register is written.
+	occRead, occWrite sim.Time
+	lineShift         uint
+	linePow2          bool
 }
 
 // NewController builds a controller for NUMA node with the given config.
@@ -108,13 +117,31 @@ func NewController(node int, cfg Config) (*Controller, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Controller{
+	c := &Controller{
 		node:          node,
 		cfg:           cfg,
 		throttleRead:  RegisterMax,
 		throttleWrite: RegisterMax,
 		nextFree:      make([]sim.Time, cfg.Channels),
-	}, nil
+	}
+	if cfg.LineSize&(cfg.LineSize-1) == 0 {
+		c.lineShift = uint(bits.TrailingZeros(uint(cfg.LineSize)))
+		c.linePow2 = true
+	}
+	c.refillRead()
+	c.refillWrite()
+	return c, nil
+}
+
+// refillRead recomputes the cached read-path occupancy (the exact
+// expression Access previously evaluated per request).
+func (c *Controller) refillRead() {
+	c.occRead = sim.Time(float64(c.cfg.LineSize) / c.ChannelBandwidth() * float64(sim.Second))
+}
+
+// refillWrite recomputes the cached write-path occupancy.
+func (c *Controller) refillWrite() {
+	c.occWrite = sim.Time(float64(c.cfg.LineSize) / c.ChannelWriteBandwidth() * float64(sim.Second))
 }
 
 // Node reports the controller's NUMA node id.
@@ -145,6 +172,10 @@ func (c *Controller) SetReadThrottle(v uint16) error {
 		return fmt.Errorf("mem: read throttle value %d exceeds 12-bit register (max %d)", v, RegisterMax)
 	}
 	c.throttleRead = v
+	c.refillRead()
+	r := obs.Default()
+	r.ThrottleProgrammed("read")
+	r.BucketRefill("read")
 	return nil
 }
 
@@ -154,6 +185,10 @@ func (c *Controller) SetWriteThrottle(v uint16) error {
 		return fmt.Errorf("mem: write throttle value %d exceeds 12-bit register (max %d)", v, RegisterMax)
 	}
 	c.throttleWrite = v
+	c.refillWrite()
+	r := obs.Default()
+	r.ThrottleProgrammed("write")
+	r.BucketRefill("write")
 	return nil
 }
 
@@ -227,12 +262,17 @@ func (c *Controller) RegisterForBandwidth(target float64) uint16 {
 // prefetch fills) still occupies channel slots but callers normally ignore
 // the returned completion time.
 func (c *Controller) Access(now sim.Time, addr uintptr, kind AccessKind, serviceLat sim.Time) sim.Time {
-	ch := int(addr/uintptr(c.cfg.LineSize)) % c.cfg.Channels
-	bw := c.ChannelBandwidth()
-	if kind.isWrite() {
-		bw = c.ChannelWriteBandwidth()
+	var lineIdx uintptr
+	if c.linePow2 {
+		lineIdx = addr >> c.lineShift
+	} else {
+		lineIdx = addr / uintptr(c.cfg.LineSize)
 	}
-	occupancy := sim.Time(float64(c.cfg.LineSize) / bw * float64(sim.Second))
+	ch := int(lineIdx) % c.cfg.Channels
+	occupancy := c.occRead
+	if kind.isWrite() {
+		occupancy = c.occWrite
+	}
 	start := now
 	if c.nextFree[ch] > start {
 		start = c.nextFree[ch]

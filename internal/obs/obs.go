@@ -192,6 +192,26 @@ func (r *Recorder) KernelRun(ks sim.KernelStats) {
 	r.reg.Histogram("sim.max_runqueue").Observe(int64(ks.MaxQueue))
 }
 
+// ThrottleProgrammed counts one DRAM thermal-control register write on the
+// given path ("read" or "write") — the Fig. 8 knob Quartz programs to
+// emulate NVM bandwidth.
+func (r *Recorder) ThrottleProgrammed(path string) {
+	if r == nil {
+		return
+	}
+	r.reg.Counter("mem.throttle.programmed." + path).Add(1)
+}
+
+// BucketRefill counts one token-bucket refill on the given path: the
+// recomputation of a controller's per-access channel occupancy that a
+// throttle-register write triggers.
+func (r *Recorder) BucketRefill(path string) {
+	if r == nil {
+		return
+	}
+	r.reg.Counter("mem.bucket.refills." + path).Add(1)
+}
+
 // JobDone records one experiment-runner job outcome.
 func (r *Recorder) JobDone(status string, attempts int, wall time.Duration) {
 	if r == nil {

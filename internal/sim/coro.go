@@ -180,8 +180,14 @@ func (c *Coro) Interrupt(target *Coro, at Time) bool {
 		return false
 	}
 	if at < target.wake {
+		oldKey := target.key()
 		target.wake = maxTime(at, target.clock)
-		c.kernel.queue.fix(target)
+		// An earlier wake-up only reorders the heap when it changes the
+		// scheduling key (a sleeper whose clock already passed its wake
+		// time keys on the clock either way); skip the fix when it cannot.
+		if target.key() != oldKey {
+			c.kernel.queue.fix(target)
+		}
 		c.kernel.noteEnqueued(target.key())
 	}
 	return true

@@ -23,6 +23,10 @@ type Kernel struct {
 	maxQueue   int
 	failure    error
 	aborted    bool
+
+	// noFastPath disables the run-to-block re-grant (push+pop per dispatch
+	// instead); the equivalence tests use it to pin both paths together.
+	noFastPath bool
 }
 
 // KernelStats snapshots a kernel's scheduler activity for observability:
@@ -96,14 +100,31 @@ func (k *Kernel) Run() error {
 			k.maxQueue = n
 		}
 		c := k.queue.pop()
-		if c.state == stateSleeping {
-			c.clock = maxTime(c.clock, c.wake)
-			c.state = stateRunnable
-		}
-		c.grant = k.grantFor(c)
-		k.dispatch(c)
-		if c.state == stateRunnable || c.state == stateSleeping {
-			k.queue.push(c)
+		for {
+			if c.state == stateSleeping {
+				c.clock = maxTime(c.clock, c.wake)
+				c.state = stateRunnable
+			}
+			c.grant = k.grantFor(c)
+			k.dispatch(c)
+			if c.state != stateRunnable && c.state != stateSleeping {
+				break // done or blocked: nothing to re-queue
+			}
+			// Run-to-block fast path: if the yielded coro still orders
+			// before every queued peer (key, then id — exactly the heap
+			// order), pushing it would only have it popped right back, so
+			// re-grant it directly and skip both heap operations. The
+			// queue the grant computation sees is identical either way,
+			// as are dispatch counts; only the high-water mark must be
+			// accounted by hand (the reference path measures it with c
+			// back in the queue).
+			if k.aborted || k.noFastPath || !k.ordersFirst(c) {
+				k.queue.push(c)
+				break
+			}
+			if n := k.queue.len() + 1; n > k.maxQueue {
+				k.maxQueue = n
+			}
 		}
 	}
 	blocked := k.blockedNames()
@@ -175,6 +196,17 @@ func (k *Kernel) grantFor(c *Coro) grant {
 		h = MaxTime
 	}
 	return grant{strict: pk, horizon: h}
+}
+
+// ordersFirst reports whether c schedules before every queued coro — the
+// same strict total order (key, then spawn id) the heap pops in.
+func (k *Kernel) ordersFirst(c *Coro) bool {
+	top := k.queue.peek()
+	if top == nil {
+		return true
+	}
+	ck, tk := c.key(), top.key()
+	return ck < tk || (ck == tk && c.id < top.id)
 }
 
 // unblock moves a blocked coro back onto the run queue with its clock

@@ -121,6 +121,46 @@ func (t *Thread) LoadGroup(addrs []uintptr) {
 	t.coro.Advance(t.core.LoadGroup(t.coro.Clock(), addrs))
 }
 
+// LoadRun performs n dependent demand loads at addr, addr+stride, … — the
+// common strided-scan loop, batched into one call. Each access performs the
+// same signal check, synchronization yield and trace hook an individual
+// Load would, so thread interleaving (and the simulated timeline) is
+// identical to the unrolled loop.
+func (t *Thread) LoadRun(addr, stride uintptr, n int) {
+	for ; n > 0; n-- {
+		t.checkSignals()
+		t.coro.Sync()
+		t.traceAddr(trace.KindLoad, addr)
+		lat, _ := t.core.Load(t.coro.Clock(), addr)
+		t.coro.Advance(lat)
+		addr += stride
+	}
+}
+
+// StoreRun performs n posted stores at addr, addr+stride, …, each with the
+// per-access bookkeeping an individual Store would perform.
+func (t *Thread) StoreRun(addr, stride uintptr, n int) {
+	for ; n > 0; n-- {
+		t.checkSignals()
+		t.coro.Sync()
+		t.traceAddr(trace.KindStore, addr)
+		t.coro.Advance(t.core.Store(t.coro.Clock(), addr))
+		addr += stride
+	}
+}
+
+// LoadGroupRun is LoadGroup over the arithmetic address sequence addr,
+// addr+stride, …, addr+(n-1)*stride, sparing streaming callers the
+// address-slice rebuild on every batch.
+func (t *Thread) LoadGroupRun(addr, stride uintptr, n int) {
+	t.checkSignals()
+	if n <= 0 {
+		return
+	}
+	t.coro.Sync()
+	t.coro.Advance(t.core.LoadGroupRun(t.coro.Clock(), addr, stride, n))
+}
+
 // Store performs one posted store to the simulated address.
 func (t *Thread) Store(addr uintptr) {
 	t.checkSignals()
@@ -169,13 +209,39 @@ func (t *Thread) RDTSC() uint64 {
 
 // SpinUntilTSC spins (as Quartz's delay injection does) until the timestamp
 // counter reaches target, polling every pollCycles.
+//
+// The modeled spin's only observable effect is its final clock: the start
+// clock plus the smallest whole number of polls whose TSC reaches target.
+// TSC is monotone in the clock, so that poll count is found by galloping
+// plus binary search with the same comparator the poll-by-poll loop used —
+// identical final clock, and a delay injection of thousands of polls costs
+// a dozen comparisons instead.
 func (t *Thread) SpinUntilTSC(target uint64, pollCycles int64) {
 	if pollCycles <= 0 {
 		pollCycles = 20
 	}
-	for t.core.TSC(t.coro.Clock()) < target {
-		t.coro.Advance(t.core.TimeForCycles(pollCycles))
+	step := t.core.TimeForCycles(pollCycles)
+	start := t.coro.Clock()
+	if t.core.TSC(start) >= target {
+		return
 	}
+	if step <= 0 {
+		t.Failf("simos: TSC spin cannot make progress (poll step %v)", step)
+	}
+	hi := sim.Time(1)
+	for t.core.TSC(start+hi*step) < target {
+		hi *= 2
+	}
+	lo := hi / 2 // below lo+1 polls the TSC is still short of target
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if t.core.TSC(start+mid*step) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t.coro.Advance(hi * step)
 }
 
 // Nanosleep blocks for d of virtual time. If a signal arrives during the
