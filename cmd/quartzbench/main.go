@@ -14,11 +14,19 @@
 //	quartzbench -exp fig11,fig12 -scale quick
 //	quartzbench -exp all -scale full -parallel 8 -json results.jsonl -o results.txt
 //	quartzbench -exp fig12 -trace trace.json -metrics-out metrics.json
+//	quartzbench -exp all -scale full -serve :8077 -ledger-out run.jsonl
 //
 // -trace writes a Chrome trace-event file (chrome://tracing / Perfetto) with
 // every closed epoch as a slice and every delay injection as a flow-linked
 // slice; -metrics / -metrics-out export the aggregated metrics registry as
 // JSON. See doc/observability.md for the schema.
+//
+// -serve starts the live introspection HTTP server (/metrics, /ledger,
+// /runs, /events) for the duration of the suite (plus -serve-linger);
+// -ledger-out streams every epoch record to disk as it closes (JSONL or the
+// compact binary framing via -ledger-format, size-rotated via
+// -ledger-rotate-mb), removing the in-memory ledger bound. See
+// doc/live-monitoring.md.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 
 	"github.com/quartz-emu/quartz/internal/experiments"
 	"github.com/quartz-emu/quartz/internal/obs"
+	"github.com/quartz-emu/quartz/internal/obs/obshttp"
 	"github.com/quartz-emu/quartz/internal/runner"
 )
 
@@ -56,8 +65,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceFlag    = fs.String("trace", "", "write a Chrome trace-event file of every emulated run (open in chrome://tracing or Perfetto)")
 		metricsFlag  = fs.Bool("metrics", false, "print a JSON metrics snapshot to stdout after the suite")
 		metricsOut   = fs.String("metrics-out", "", "write the JSON metrics snapshot to this file")
+		serveFlag    = fs.String("serve", "", "serve live introspection HTTP (/metrics /ledger /runs /events) on this address during the suite (e.g. :8077)")
+		lingerFlag   = fs.Duration("serve-linger", 0, "keep the introspection server up this long after the suite finishes")
+		ledgerOut    = fs.String("ledger-out", "", "stream every epoch record to this file as it closes (removes the in-memory ledger bound)")
+		ledgerFormat = fs.String("ledger-format", "jsonl", "ledger sink encoding: jsonl or binary")
+		ledgerRotMB  = fs.Int64("ledger-rotate-mb", 0, "rotate the ledger sink file after this many MiB (0 = never)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// Validate flag combinations before any experiment runs, mirroring the
+	// upfront -exp id validation: a misconfiguration must fail in
+	// milliseconds, not after the suite.
+	sinkFormat, err := validateFlags(*listFlag, *parallelFlag, *retriesFlag,
+		*serveFlag, *lingerFlag, *ledgerOut, *ledgerFormat, *ledgerRotMB)
+	if err != nil {
+		fmt.Fprintf(stderr, "quartzbench: %v\n", err)
 		return 2
 	}
 
@@ -132,11 +156,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// attaches one so its lines can report live emulation rates. See
 	// doc/observability.md.
 	var rec *obs.Recorder
-	if *traceFlag != "" || *metricsFlag || *metricsOut != "" || *progressFlag {
+	if *traceFlag != "" || *metricsFlag || *metricsOut != "" || *progressFlag ||
+		*serveFlag != "" || *ledgerOut != "" {
 		rec = obs.New(0)
 		obs.SetDefault(rec)
 		defer obs.SetDefault(nil)
 		cfg.Recorder = rec
+	}
+	if *ledgerOut != "" {
+		sink, err := obs.NewFileSink(*ledgerOut, obs.SinkOptions{
+			Format:      sinkFormat,
+			RotateBytes: *ledgerRotMB << 20,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "quartzbench: -ledger-out: %v\n", err)
+			return 2
+		}
+		if err := rec.AttachSink(sink, 0); err != nil {
+			fmt.Fprintf(stderr, "quartzbench: -ledger-out: %v\n", err)
+			return 2
+		}
+		defer func() {
+			if err := rec.CloseSink(); err != nil {
+				fmt.Fprintf(stderr, "quartzbench: closing ledger sink: %v\n", err)
+			}
+		}()
+	}
+	var srv *obshttp.Server
+	if *serveFlag != "" {
+		board := runner.NewStatusBoard()
+		cfg.Status = board
+		var err error
+		srv, err = obshttp.Start(*serveFlag, obshttp.Options{Recorder: rec, Status: board})
+		if err != nil {
+			fmt.Fprintf(stderr, "quartzbench: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "quartzbench: serving introspection on %s\n", srv.URL())
 	}
 	if *jsonFlag != "" {
 		jf, err := os.Create(*jsonFlag)
@@ -205,17 +262,57 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if rec != nil {
-		if err := writeObservability(rec, *traceFlag, *metricsFlag, *metricsOut, stdout, stderr); err != nil {
+		if err := writeObservability(rec, *traceFlag, *metricsFlag, *metricsOut, stdout); err != nil {
 			fmt.Fprintf(stderr, "quartzbench: %v\n", err)
 			return 1
 		}
 	}
+	if srv != nil && *lingerFlag > 0 {
+		// Keep the introspection plane queryable after the suite so smoke
+		// tests and dashboards can take a final reading; Ctrl-C cuts it.
+		fmt.Fprintf(stderr, "quartzbench: introspection server lingering %s (Ctrl-C to stop)\n", *lingerFlag)
+		select {
+		case <-ctx.Done():
+		case <-time.After(*lingerFlag):
+		}
+	}
+	if err := rec.CloseSink(); err != nil {
+		fmt.Fprintf(stderr, "quartzbench: ledger sink: %v\n", err)
+		return 1
+	}
 	return exit
+}
+
+// validateFlags rejects invalid flag combinations upfront with clear
+// errors. It returns the parsed -ledger-format.
+func validateFlags(list bool, parallel, retries int, serve string, linger time.Duration,
+	ledgerOut, ledgerFormat string, ledgerRotMB int64) (obs.SinkFormat, error) {
+	sinkFormat, err := obs.ParseSinkFormat(ledgerFormat)
+	if err != nil {
+		return 0, fmt.Errorf("-ledger-format: %v", err)
+	}
+	switch {
+	case parallel < 0:
+		return 0, fmt.Errorf("-parallel %d: must be >= 0 (0 = GOMAXPROCS, 1 = serial)", parallel)
+	case retries < 0:
+		return 0, fmt.Errorf("-retries %d: must be >= 0", retries)
+	case ledgerRotMB < 0:
+		return 0, fmt.Errorf("-ledger-rotate-mb %d: must be >= 0 (0 = never rotate)", ledgerRotMB)
+	case linger < 0:
+		return 0, fmt.Errorf("-serve-linger %s: must be >= 0", linger)
+	case linger > 0 && serve == "":
+		return 0, fmt.Errorf("-serve-linger needs -serve")
+	case ledgerRotMB > 0 && ledgerOut == "":
+		return 0, fmt.Errorf("-ledger-rotate-mb needs -ledger-out")
+	case list && serve != "":
+		return 0, fmt.Errorf("-serve makes no sense with -list (nothing runs)")
+	}
+	return sinkFormat, nil
 }
 
 // writeObservability exports the recorder's trace file and/or metrics
 // snapshot after the suite finishes.
-func writeObservability(rec *obs.Recorder, tracePath string, metricsStdout bool, metricsPath string, stdout, stderr io.Writer) error {
+func writeObservability(rec *obs.Recorder, tracePath string, metricsStdout bool, metricsPath string, stdout io.Writer) error {
 	if tracePath != "" {
 		f, err := os.Create(tracePath)
 		if err != nil {
@@ -227,9 +324,6 @@ func writeObservability(rec *obs.Recorder, tracePath string, metricsStdout bool,
 		}
 		if werr != nil {
 			return fmt.Errorf("writing trace: %w", werr)
-		}
-		if dropped := rec.Dropped(); dropped > 0 {
-			fmt.Fprintf(stderr, "quartzbench: trace ledger full: %d oldest epoch records dropped (metrics still complete)\n", dropped)
 		}
 	}
 	if metricsStdout {

@@ -10,17 +10,24 @@
 //	quartzrun -workload pagerank -mode physical-remote
 //	quartzrun -workload multilat -two-memory -nvm-lat 400
 //	quartzrun -workload multithreaded -threads 4 -trace trace.json -metrics
+//	quartzrun -workload kvstore -iters 2000000 -serve :8077 -ledger-out run.jsonl
 //
 // -trace writes a Chrome trace-event file of the run (epochs as slices,
 // delay injections as flow-linked slices; open in chrome://tracing or
 // Perfetto); -metrics / -metrics-out export the aggregated metrics registry
 // as JSON. See doc/observability.md.
+//
+// -serve starts the live introspection HTTP server (/metrics, /ledger,
+// /events) for the duration of the run (plus -serve-linger); -ledger-out
+// streams every epoch record to disk as it closes (-ledger-format jsonl or
+// binary). See doc/live-monitoring.md.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/quartz-emu/quartz/internal/apps/graph500"
 	"github.com/quartz-emu/quartz/internal/apps/kvstore"
@@ -29,6 +36,7 @@ import (
 	"github.com/quartz-emu/quartz/internal/core"
 	"github.com/quartz-emu/quartz/internal/machine"
 	"github.com/quartz-emu/quartz/internal/obs"
+	"github.com/quartz-emu/quartz/internal/obs/obshttp"
 	"github.com/quartz-emu/quartz/internal/sim"
 	"github.com/quartz-emu/quartz/internal/simos"
 )
@@ -38,25 +46,30 @@ func main() {
 }
 
 type flags struct {
-	workload   string
-	preset     string
-	mode       string
-	nvmLatNS   float64
-	nvmBW      float64
-	writeNS    float64
-	threads    int
-	iters      int
-	lines      int
-	minEpoch   float64 // ms
-	maxEpoch   float64 // ms
-	twoMemory  bool
-	injectOff  bool
-	modelStr   string
-	seed       int64
-	configPath string
-	tracePath  string
-	metrics    bool
-	metricsOut string
+	workload    string
+	preset      string
+	mode        string
+	nvmLatNS    float64
+	nvmBW       float64
+	writeNS     float64
+	threads     int
+	iters       int
+	lines       int
+	minEpoch    float64 // ms
+	maxEpoch    float64 // ms
+	twoMemory   bool
+	injectOff   bool
+	modelStr    string
+	seed        int64
+	configPath  string
+	tracePath   string
+	metrics     bool
+	metricsOut  string
+	serve       string
+	serveLinger time.Duration
+	ledgerOut   string
+	ledgerFmt   string
+	ledgerRotMB int64
 }
 
 func run() int {
@@ -80,6 +93,11 @@ func run() int {
 	flag.StringVar(&f.tracePath, "trace", "", "write a Chrome trace-event file of the run (open in chrome://tracing or Perfetto)")
 	flag.BoolVar(&f.metrics, "metrics", false, "print a JSON metrics snapshot after the run")
 	flag.StringVar(&f.metricsOut, "metrics-out", "", "write the JSON metrics snapshot to this file")
+	flag.StringVar(&f.serve, "serve", "", "serve live introspection HTTP (/metrics /ledger /events) on this address during the run (e.g. :8077)")
+	flag.DurationVar(&f.serveLinger, "serve-linger", 0, "keep the introspection server up this long after the run finishes")
+	flag.StringVar(&f.ledgerOut, "ledger-out", "", "stream every epoch record to this file as it closes")
+	flag.StringVar(&f.ledgerFmt, "ledger-format", "jsonl", "ledger sink encoding: jsonl or binary")
+	flag.Int64Var(&f.ledgerRotMB, "ledger-rotate-mb", 0, "rotate the ledger sink file after this many MiB (0 = never)")
 	flag.Parse()
 
 	if err := execute(f); err != nil {
@@ -115,12 +133,39 @@ func parseMode(s string) (bench.Mode, error) {
 	}
 }
 
+// validateObsFlags rejects invalid introspection flag combinations upfront,
+// before the environment is built, and returns the parsed -ledger-format.
+func validateObsFlags(f flags) (obs.SinkFormat, error) {
+	sinkFormat := obs.FormatJSONL
+	if f.ledgerFmt != "" {
+		var err error
+		if sinkFormat, err = obs.ParseSinkFormat(f.ledgerFmt); err != nil {
+			return 0, fmt.Errorf("-ledger-format: %v", err)
+		}
+	}
+	switch {
+	case f.ledgerRotMB < 0:
+		return 0, fmt.Errorf("-ledger-rotate-mb %d: must be >= 0 (0 = never rotate)", f.ledgerRotMB)
+	case f.ledgerRotMB > 0 && f.ledgerOut == "":
+		return 0, fmt.Errorf("-ledger-rotate-mb needs -ledger-out")
+	case f.serveLinger < 0:
+		return 0, fmt.Errorf("-serve-linger %s: must be >= 0", f.serveLinger)
+	case f.serveLinger > 0 && f.serve == "":
+		return 0, fmt.Errorf("-serve-linger needs -serve")
+	}
+	return sinkFormat, nil
+}
+
 func execute(f flags) error {
 	preset, err := parsePreset(f.preset)
 	if err != nil {
 		return err
 	}
 	mode, err := parseMode(f.mode)
+	if err != nil {
+		return err
+	}
+	sinkFormat, err := validateObsFlags(f)
 	if err != nil {
 		return err
 	}
@@ -151,10 +196,31 @@ func execute(f flags) error {
 	// Observability: the recorder is installed as the process-global
 	// default so the emulator bench.NewEnv attaches picks it up.
 	var rec *obs.Recorder
-	if f.tracePath != "" || f.metrics || f.metricsOut != "" {
+	if f.tracePath != "" || f.metrics || f.metricsOut != "" || f.serve != "" || f.ledgerOut != "" {
 		rec = obs.New(0)
 		obs.SetDefault(rec)
 		defer obs.SetDefault(nil)
+	}
+	if f.ledgerOut != "" {
+		sink, err := obs.NewFileSink(f.ledgerOut, obs.SinkOptions{
+			Format:      sinkFormat,
+			RotateBytes: f.ledgerRotMB << 20,
+		})
+		if err != nil {
+			return fmt.Errorf("-ledger-out: %w", err)
+		}
+		if err := rec.AttachSink(sink, 0); err != nil {
+			return fmt.Errorf("-ledger-out: %w", err)
+		}
+	}
+	var srv *obshttp.Server
+	if f.serve != "" {
+		srv, err = obshttp.Start(f.serve, obshttp.Options{Recorder: rec})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "quartzrun: serving introspection on %s\n", srv.URL())
 	}
 
 	env, err := bench.NewEnv(bench.EnvConfig{
@@ -185,6 +251,13 @@ func execute(f flags) error {
 		if err := exportObservability(rec, f); err != nil {
 			return err
 		}
+	}
+	if srv != nil && f.serveLinger > 0 {
+		fmt.Fprintf(os.Stderr, "quartzrun: introspection server lingering %s\n", f.serveLinger)
+		time.Sleep(f.serveLinger)
+	}
+	if err := rec.CloseSink(); err != nil {
+		return fmt.Errorf("ledger sink: %w", err)
 	}
 	return nil
 }

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"github.com/quartz-emu/quartz/internal/bench"
 	"github.com/quartz-emu/quartz/internal/machine"
+	"github.com/quartz-emu/quartz/internal/obs"
 )
 
 func TestParsePreset(t *testing.T) {
@@ -87,5 +91,63 @@ func TestExecuteRunsSmallMemLat(t *testing.T) {
 	}
 	if err := execute(f); err != nil {
 		t.Fatalf("execute: %v", err)
+	}
+}
+
+func TestValidateObsFlags(t *testing.T) {
+	base := flags{ledgerFmt: "jsonl"}
+	if _, err := validateObsFlags(base); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*flags)
+		want   string
+	}{
+		{"bad format", func(f *flags) { f.ledgerFmt = "xml" }, "-ledger-format"},
+		{"negative rotate", func(f *flags) { f.ledgerOut = "x"; f.ledgerRotMB = -1 }, "-ledger-rotate-mb"},
+		{"rotate without out", func(f *flags) { f.ledgerRotMB = 4 }, "-ledger-rotate-mb needs -ledger-out"},
+		{"linger without serve", func(f *flags) { f.serveLinger = time.Second }, "-serve-linger needs -serve"},
+		{"negative linger", func(f *flags) { f.serve = ":0"; f.serveLinger = -time.Second }, "-serve-linger"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := base
+			c.mutate(&f)
+			_, err := validateObsFlags(f)
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestExecuteStreamsLedger: a small run with -ledger-out must stream a
+// dense, decodable epoch ledger.
+func TestExecuteStreamsLedger(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.bin")
+	f := flags{
+		workload: "memlat", preset: "ivybridge", mode: "emulated",
+		nvmLatNS: 300, threads: 1, iters: 2_000, lines: 1 << 15,
+		minEpoch: 0.05, maxEpoch: 0.5, modelStr: "stall",
+		ledgerOut: path, ledgerFmt: "binary",
+	}
+	if err := execute(f); err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	recs, err := obs.ReadLedger(path)
+	if err != nil {
+		t.Fatalf("ReadLedger: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("ledger stream is empty")
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i) {
+			t.Fatalf("record %d has seq %d", i, rec.Seq)
+		}
 	}
 }

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/quartz-emu/quartz/internal/obs"
+	"github.com/quartz-emu/quartz/internal/obs/obshttp"
+	"github.com/quartz-emu/quartz/internal/runner"
+	"github.com/quartz-emu/quartz/internal/sim"
+)
+
+// testServer spins up a real introspection server with a populated recorder
+// and status board, exactly what quartztop polls in production.
+func testServer(t *testing.T, withBoard bool) *httptest.Server {
+	t.Helper()
+	rec := obs.New(0)
+	for i := 0; i < 20; i++ {
+		start := sim.Time(i) * sim.Millisecond
+		rec.EpochClosed(obs.EpochRecord{
+			PID: 1, TID: 0, Start: start, End: start + sim.Millisecond,
+			Reason: "max", StallCycles: 5000, L3MissLocal: 100,
+			Delay: 20 * sim.Microsecond, Injected: 18 * sim.Microsecond,
+		})
+	}
+	o := obshttp.Options{Recorder: rec}
+	if withBoard {
+		board := runner.NewStatusBoard()
+		board.SuiteStarted([]string{"overhead"}, []int{4})
+		board.JobFinished(runner.Result{JobID: "overhead/0", Experiment: "overhead", Status: runner.StatusOK})
+		o.Status = board
+	}
+	srv := httptest.NewServer(obshttp.Handler(o))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// TestOnceProbesAllEndpoints: the -once smoke mode must validate /metrics,
+// /ledger and /runs and summarize each.
+func TestOnceProbesAllEndpoints(t *testing.T) {
+	srv := testServer(t, true)
+	code, stdout, stderr := runCLI(t, "-addr", srv.URL, "-once")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "epochs closed 20") {
+		t.Errorf("metrics summary wrong:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "ledger: total 20, page of 5 records") {
+		t.Errorf("ledger summary wrong:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "runs: 1/4 jobs done") {
+		t.Errorf("runs summary wrong:\n%s", stdout)
+	}
+}
+
+// TestOnceWithoutRunner: /runs 404 is reported, not treated as an error.
+func TestOnceWithoutRunner(t *testing.T) {
+	srv := testServer(t, false)
+	code, stdout, stderr := runCLI(t, "-addr", srv.URL, "-once")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "runs: no experiment runner attached") {
+		t.Errorf("missing no-runner line:\n%s", stdout)
+	}
+}
+
+// TestOnceUnreachableServer: a dead server is exit 1 with a clear error.
+func TestOnceUnreachableServer(t *testing.T) {
+	code, _, stderr := runCLI(t, "-addr", "http://127.0.0.1:1", "-once")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "quartztop:") {
+		t.Errorf("stderr: %q", stderr)
+	}
+}
+
+// TestMonitorRendersFrames: -n bounds the TUI loop so it renders frames and
+// exits; the frame must carry the headline numbers.
+func TestMonitorRendersFrames(t *testing.T) {
+	srv := testServer(t, true)
+	code, stdout, stderr := runCLI(t, "-addr", srv.URL, "-n", "2", "-interval", "10ms")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"quartztop — " + srv.URL,
+		"epochs closed",
+		"epoch len p50/p95/p99",
+		"suite running — 1/4 jobs",
+		"overhead",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("frame missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestBadFlags: invalid invocations are usage errors.
+func TestBadFlags(t *testing.T) {
+	if code, _, _ := runCLI(t, "-interval", "0s"); code != 2 {
+		t.Errorf("-interval 0: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "-bogus"); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+}
+
+// TestAddrNormalization: a bare host:port gets the scheme prepended.
+func TestAddrNormalization(t *testing.T) {
+	srv := testServer(t, false)
+	bare := strings.TrimPrefix(srv.URL, "http://")
+	code, stdout, stderr := runCLI(t, "-addr", bare, "-once")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "epochs closed 20") {
+		t.Errorf("probe over normalized addr failed:\n%s", stdout)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := bar(0, 0, 4); got != "----" {
+		t.Errorf("bar(0,0) = %q", got)
+	}
+	if got := bar(2, 4, 4); got != "##.." {
+		t.Errorf("bar(2,4) = %q", got)
+	}
+	if got := bar(9, 4, 4); got != "####" {
+		t.Errorf("bar overflow = %q", got)
+	}
+}
+
+func TestFmtNS(t *testing.T) {
+	cases := map[float64]string{
+		12:      "12ns",
+		1500:    "1.5us",
+		2500000: "2.5ms",
+	}
+	for in, want := range cases {
+		if got := fmtNS(in); got != want {
+			t.Errorf("fmtNS(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

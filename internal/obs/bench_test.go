@@ -38,6 +38,31 @@ func BenchmarkEpochClosedActive(b *testing.B) {
 	}
 }
 
+// BenchmarkEpochClosedStreaming measures the sink-attached path: tail-ring
+// append + event check + encode to the sink. JSONL pays a json.Marshal per
+// record; binary is the cheap streaming encoding.
+func BenchmarkEpochClosedStreaming(b *testing.B) {
+	for _, format := range []SinkFormat{FormatJSONL, FormatBinary} {
+		b.Run(format.String(), func(b *testing.B) {
+			r := New(0)
+			if err := r.AttachSink(NewWriterSink(discard{}, format), DefaultTailRing); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r.EpochClosed(benchRecord)
+			}
+			if err := r.CloseSink(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
 // BenchmarkSuppressedAndWaitNil covers the other hot nil-path call sites
 // (epoch suppression check, contended-lock accounting).
 func BenchmarkSuppressedAndWaitNil(b *testing.B) {

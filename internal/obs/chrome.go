@@ -48,12 +48,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	ledger := make([]EpochRecord, len(r.ledger))
-	copy(ledger, r.ledger)
-	procs := append([]string(nil), r.procs...)
-	dropped := r.dropped
-	r.mu.Unlock()
+	ledger, procs, dropped := r.snapshotLedger()
 
 	events := make([]chromeEvent, 0, 2*len(ledger)+len(procs))
 

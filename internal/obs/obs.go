@@ -1,10 +1,11 @@
 // Package obs is the emulator's observability layer: a low-overhead epoch
-// ledger, an aggregated metrics registry, and a Chrome trace-event exporter.
+// ledger, an aggregated metrics registry, a Chrome trace-event exporter,
+// streaming ledger sinks, and a live event stream.
 //
 // Quartz's value is explaining where emulated time goes — per-epoch stall
 // cycles, the Eq. 2/3 delay derivation, min/max-epoch truncation, and the
 // amortization carry — so the instrumentation that computes those quantities
-// must be inspectable. This package provides three surfaces:
+// must be inspectable. This package provides these surfaces:
 //
 //   - the epoch ledger: one EpochRecord per closed epoch, in global close
 //     order, carrying the trigger, the raw counter deltas, the computed
@@ -12,10 +13,15 @@
 //   - the metrics registry (registry.go): expvar-style named counters,
 //     gauges and histograms covering epochs, delays, suppressions, runner
 //     job outcomes and simulation-kernel activity, exported as one JSON
-//     snapshot;
+//     snapshot with p50/p95/p99 summaries;
 //   - the Chrome trace exporter (chrome.go): the ledger rendered as a
 //     trace-event JSON file loadable in chrome://tracing or Perfetto, with
-//     epochs as slices and delay injections as flow-connected slices.
+//     epochs as slices and delay injections as flow-connected slices;
+//   - ledger sinks (sink.go): JSONL or compact-binary streaming of every
+//     epoch record to disk, removing the in-memory retention bound;
+//   - the event stream (events.go): a non-blocking fan-out of epoch closes,
+//     delay injections, throttle programmings and job completions, feeding
+//     the HTTP introspection plane (internal/obs/obshttp).
 //
 // The entry point is the Recorder. A nil *Recorder is valid and records
 // nothing: every method nil-checks its receiver, so instrumented code calls
@@ -26,6 +32,7 @@ package obs
 
 import (
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,53 +40,65 @@ import (
 	"github.com/quartz-emu/quartz/internal/sim"
 )
 
-// DefaultLedgerLimit bounds the ledger when New is called with limit <= 0.
-// At ~200 bytes per record this caps ledger memory near 100 MB; longer runs
-// keep the newest records and count the dropped ones.
+// DefaultLedgerLimit bounds the ledger when New is called with limit <= 0
+// and no sink is attached. At ~200 bytes per record this caps ledger memory
+// near 100 MB; longer runs keep the oldest records and count the newer ones
+// as dropped. Attaching a LedgerSink removes the bound entirely (the full
+// ledger streams to the sink) and memory keeps only a DefaultTailRing-sized
+// tail.
 const DefaultLedgerLimit = 1 << 19
 
-// EpochRecord is one closed epoch as the emulator core observed it.
+// DefaultTailRing is the number of newest records kept in memory for live
+// tail queries (Recorder.LedgerSince, the /ledger endpoint) once a sink is
+// attached.
+const DefaultTailRing = 4096
+
+// EpochRecord is one closed epoch as the emulator core observed it. The
+// JSON field names are the JSONL sink / HTTP ledger schema; virtual times
+// are femtoseconds (the sim.Time unit), suffixed _fs.
 type EpochRecord struct {
 	// Seq is the global close order (0-based) assigned by the recorder.
-	Seq uint64
+	Seq uint64 `json:"seq"`
 	// PID identifies the emulated process (one RegisterProcess call);
 	// parallel experiment jobs get distinct PIDs.
-	PID int
+	PID int `json:"pid"`
 	// TID and Thread identify the thread within the process.
-	TID    int
-	Thread string
+	TID    int    `json:"tid"`
+	Thread string `json:"thread,omitempty"`
 
 	// Start and End bound the epoch in virtual time. End is the close
 	// time, before epoch-processing overhead and delay injection.
-	Start, End sim.Time
+	Start sim.Time `json:"start_fs"`
+	End   sim.Time `json:"end_fs"`
 	// Reason is the close trigger: "max" (monitor signal at maximum epoch
 	// length), "sync" (inter-thread communication event), or "end"
 	// (explicit close / thread exit).
-	Reason string
+	Reason string `json:"reason"`
 
 	// Raw Table 1 counter deltas over the epoch.
-	StallCycles  uint64
-	L3Hit        uint64
-	L3MissLocal  uint64
-	L3MissRemote uint64
+	StallCycles  uint64 `json:"stall_cycles"`
+	L3Hit        uint64 `json:"l3_hit"`
+	L3MissLocal  uint64 `json:"l3_miss_local"`
+	L3MissRemote uint64 `json:"l3_miss_remote,omitempty"`
 
 	// LDMStallCycles is Eq. 3's memory-attributable stall extraction (after
 	// the Eq. 4 remote split in two-memory mode).
-	LDMStallCycles float64
+	LDMStallCycles float64 `json:"ldm_stall_cycles"`
 
 	// Delay is the model-computed delay (Eq. 1 or Eq. 2) for this epoch;
 	// Injected is what was actually spun after overhead amortization.
 	// Injected < Delay means the difference amortized accumulated overhead;
 	// Injected == 0 with Delay > 0 also covers switched-off-injection mode.
-	Delay    sim.Time
-	Injected sim.Time
+	Delay    sim.Time `json:"delay_fs"`
+	Injected sim.Time `json:"injected_fs"`
 	// InjectStart/InjectEnd bound the injection spin in virtual time
 	// (zero when nothing was injected).
-	InjectStart, InjectEnd sim.Time
+	InjectStart sim.Time `json:"inject_start_fs,omitempty"`
+	InjectEnd   sim.Time `json:"inject_end_fs,omitempty"`
 	// Overhead is the epoch-processing cost charged at this close; Carry is
 	// the unamortized overhead outstanding after this epoch.
-	Overhead sim.Time
-	Carry    sim.Time
+	Overhead sim.Time `json:"overhead_fs"`
+	Carry    sim.Time `json:"carry_fs"`
 }
 
 // Len reports the epoch's length in virtual time.
@@ -90,16 +109,28 @@ func (e EpochRecord) Len() sim.Time { return e.End - e.Start }
 // A nil *Recorder is a valid no-op sink.
 type Recorder struct {
 	reg *Registry
+	hub eventHub
 
-	mu      sync.Mutex
-	ledger  []EpochRecord
-	limit   int
-	dropped int64
-	procs   []string // index = PID-1
+	mu     sync.Mutex
+	ledger []EpochRecord
+	// start is the ring head (index of the oldest retained record) once the
+	// ledger operates as a circular tail buffer (sink attached and ring
+	// full); 0 in append mode.
+	start int
+	// ringCap caps the tail ring when a sink is attached; limit bounds the
+	// append-mode ledger when none is.
+	ringCap  int
+	limit    int
+	total    uint64
+	sink     LedgerSink
+	sinkErr  error
+	streamed bool // a sink was attached at some point: nothing was dropped
+	procs    []string
 }
 
-// New creates a recorder whose ledger keeps at most limit records
-// (limit <= 0 selects DefaultLedgerLimit).
+// New creates a recorder whose in-memory ledger keeps at most limit records
+// (limit <= 0 selects DefaultLedgerLimit). Attaching a LedgerSink
+// (AttachSink) lifts the bound by streaming every record out.
 func New(limit int) *Recorder {
 	if limit <= 0 {
 		limit = DefaultLedgerLimit
@@ -130,20 +161,106 @@ func (r *Recorder) RegisterProcess(label string) int {
 	return len(r.procs)
 }
 
+// AttachSink streams every epoch record to s, removing the in-memory
+// retention bound: the complete ledger lives in the sink and memory keeps
+// only the newest ringSize records (<= 0 selects DefaultTailRing) for tail
+// queries. Records already retained are flushed to the sink first, so the
+// sink always holds the full ledger from Seq 0 — attach before the run for
+// that to be every record ever closed. The first sink error is latched
+// (SinkErr); recording continues in memory-tail-only mode after an error.
+func (r *Recorder) AttachSink(s LedgerSink, ringSize int) error {
+	if r == nil || s == nil {
+		return nil
+	}
+	if ringSize <= 0 {
+		ringSize = DefaultTailRing
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	retained := r.ledgerLocked()
+	for _, rec := range retained {
+		if err := s.Append(rec); err != nil {
+			return err
+		}
+	}
+	// Convert to the tail ring, keeping the newest ringSize records.
+	if len(retained) > ringSize {
+		retained = retained[len(retained)-ringSize:]
+	}
+	ring := make([]EpochRecord, 0, ringSize)
+	r.ledger = append(ring, retained...)
+	r.start = 0
+	r.ringCap = ringSize
+	r.sink = s
+	r.streamed = true
+	return nil
+}
+
+// CloseSink detaches and closes the attached sink (flushing buffered
+// records), returning the first error the sink reported during the run, or
+// the close error. It is a no-op when no sink is attached.
+func (r *Recorder) CloseSink() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	s := r.sink
+	err := r.sinkErr
+	r.sink = nil
+	r.mu.Unlock()
+	if s == nil {
+		return err
+	}
+	if cerr := s.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// SinkErr reports the first error the attached sink returned from Append
+// (nil while streaming is healthy).
+func (r *Recorder) SinkErr() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sinkErr
+}
+
 // EpochClosed appends one closed epoch to the ledger (assigning rec.Seq)
-// and folds it into the aggregate metrics. When the ledger is full the
-// record is counted as dropped but the metrics still aggregate it.
+// and folds it into the aggregate metrics. With a sink attached the record
+// also streams to the sink and the in-memory ledger keeps only the newest
+// tail; without one, records past the limit are counted as dropped but the
+// metrics still aggregate them.
 func (r *Recorder) EpochClosed(rec EpochRecord) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	rec.Seq = uint64(len(r.ledger)) + uint64(r.dropped)
-	if len(r.ledger) < r.limit {
-		r.ledger = append(r.ledger, rec)
-	} else {
-		r.dropped++
+	rec.Seq = r.total
+	r.total++
+	if r.sink != nil {
+		if err := r.sink.Append(rec); err != nil && r.sinkErr == nil {
+			r.sinkErr = err
+		}
 	}
+	switch {
+	case r.ringCap > 0: // tail ring (sink attached now or earlier)
+		if len(r.ledger) < r.ringCap {
+			r.ledger = append(r.ledger, rec)
+		} else {
+			r.ledger[r.start] = rec
+			r.start++
+			if r.start == len(r.ledger) {
+				r.start = 0
+			}
+		}
+	case len(r.ledger) < r.limit:
+		r.ledger = append(r.ledger, rec)
+	}
+	// Publish under the ledger mutex so event order equals ledger order.
+	r.epochEvents(rec)
 	r.mu.Unlock()
 
 	r.reg.Counter("quartz.epochs.closed").Add(1)
@@ -200,6 +317,7 @@ func (r *Recorder) ThrottleProgrammed(path string) {
 		return
 	}
 	r.reg.Counter("mem.throttle.programmed." + path).Add(1)
+	r.hub.publish(Event{Kind: "throttle", Path: path})
 }
 
 // BucketRefill counts one token-bucket refill on the given path: the
@@ -212,8 +330,9 @@ func (r *Recorder) BucketRefill(path string) {
 	r.reg.Counter("mem.bucket.refills." + path).Add(1)
 }
 
-// JobDone records one experiment-runner job outcome.
-func (r *Recorder) JobDone(status string, attempts int, wall time.Duration) {
+// JobDone records one experiment-runner job outcome. jobID names the job
+// for the event stream; it does not affect the aggregated metrics.
+func (r *Recorder) JobDone(jobID, status string, attempts int, wall time.Duration) {
 	if r == nil {
 		return
 	}
@@ -223,6 +342,17 @@ func (r *Recorder) JobDone(status string, attempts int, wall time.Duration) {
 		r.reg.Counter("runner.retries_used").Add(int64(attempts - 1))
 	}
 	r.reg.Histogram("runner.job_wall_ms").Observe(wall.Milliseconds())
+	r.hub.publish(Event{
+		Kind: "job", Job: jobID, Status: status, Attempts: attempts,
+		WallMS: float64(wall.Microseconds()) / 1e3,
+	})
+}
+
+// ledgerLocked returns the retained records in Seq order. Caller holds r.mu.
+func (r *Recorder) ledgerLocked() []EpochRecord {
+	out := make([]EpochRecord, 0, len(r.ledger))
+	out = append(out, r.ledger[r.start:]...)
+	return append(out, r.ledger[:r.start]...)
 }
 
 // Ledger returns a copy of the retained epoch records in close order.
@@ -232,20 +362,61 @@ func (r *Recorder) Ledger() []EpochRecord {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]EpochRecord, len(r.ledger))
-	copy(out, r.ledger)
-	return out
+	return r.ledgerLocked()
 }
 
-// Dropped reports how many epoch records were discarded because the ledger
-// was full (their metrics were still aggregated).
+// LedgerSince returns a copy of the retained records with Seq >= since, in
+// close order, plus the total number of epochs ever closed. When since
+// predates the oldest retained record the result starts at the oldest one
+// (its Seq exceeds since — that gap is how callers detect truncation; the
+// full ledger is in the sink, if one is attached).
+func (r *Recorder) LedgerSince(since uint64) (recs []EpochRecord, total uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	all := r.ledgerLocked() // fresh copy, Seq ascending in both modes
+	idx := sort.Search(len(all), func(i int) bool { return all[i].Seq >= since })
+	return all[idx:], r.total
+}
+
+// Total reports how many epochs have ever been closed against r.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped reports how many epoch records were discarded because the bounded
+// in-memory ledger was full (their metrics were still aggregated). It is
+// always 0 once a sink has been attached: the sink holds every record and
+// the in-memory ledger is just a tail cache.
 func (r *Recorder) Dropped() int64 {
 	if r == nil {
 		return 0
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.dropped
+	return r.droppedLocked()
+}
+
+// droppedLocked computes the dropped count. Caller holds r.mu.
+func (r *Recorder) droppedLocked() int64 {
+	if r.streamed {
+		return 0
+	}
+	return int64(r.total) - int64(len(r.ledger))
+}
+
+// snapshotLedger copies the ledger state for exporters.
+func (r *Recorder) snapshotLedger() (ledger []EpochRecord, procs []string, dropped int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ledgerLocked(), append([]string(nil), r.procs...), r.droppedLocked()
 }
 
 // WriteMetricsJSON writes the metrics snapshot as indented JSON. It is a
@@ -255,11 +426,14 @@ func (r *Recorder) WriteMetricsJSON(w io.Writer) error {
 		return nil
 	}
 	r.mu.Lock()
-	dropped := r.dropped
+	dropped := r.droppedLocked()
 	retained := len(r.ledger)
+	total := r.total
 	r.mu.Unlock()
 	r.reg.Gauge("obs.ledger.retained").Set(float64(retained))
 	r.reg.Gauge("obs.ledger.dropped").Set(float64(dropped))
+	r.reg.Gauge("obs.ledger.total").Set(float64(total))
+	r.reg.Gauge("obs.events.dropped").Set(float64(r.hub.dropped.Load()))
 	return r.reg.WriteJSON(w)
 }
 

@@ -27,7 +27,7 @@ func TestNilRecorderNoOp(t *testing.T) {
 	r.EpochSuppressed("sync")
 	r.ContendedWait()
 	r.KernelRun(sim.KernelStats{Spawned: 3})
-	r.JobDone("ok", 1, time.Second)
+	r.JobDone("job", "ok", 1, time.Second)
 	if got := r.Ledger(); got != nil {
 		t.Errorf("nil Ledger = %v, want nil", got)
 	}
@@ -153,9 +153,9 @@ func TestDefaultRecorder(t *testing.T) {
 // TestJobDoneMetrics covers the runner-facing aggregation.
 func TestJobDoneMetrics(t *testing.T) {
 	r := New(0)
-	r.JobDone("ok", 1, 10*time.Millisecond)
-	r.JobDone("ok", 3, 20*time.Millisecond) // two retries used
-	r.JobDone("failed", 2, 5*time.Millisecond)
+	r.JobDone("a", "ok", 1, 10*time.Millisecond)
+	r.JobDone("b", "ok", 3, 20*time.Millisecond) // two retries used
+	r.JobDone("c", "failed", 2, 5*time.Millisecond)
 	reg := r.Registry()
 	if got := reg.Counter("runner.jobs.ok").Value(); got != 2 {
 		t.Errorf("jobs.ok = %d, want 2", got)

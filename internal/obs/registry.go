@@ -92,6 +92,13 @@ type HistogramSnapshot struct {
 	Mean  float64 `json:"mean"`
 	Min   int64   `json:"min"`
 	Max   int64   `json:"max"`
+	// P50/P95/P99 are quantile estimates derived from the power-of-two
+	// bucket midpoints, clamped to the observed [Min, Max]. The bucket
+	// resolution bounds the estimation error: the true quantile lies within
+	// the estimate's bucket, i.e. within a factor of ~1.5.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
 	// Buckets maps the bucket's inclusive upper bound (a power of two) to
 	// its observation count; empty buckets are omitted.
 	Buckets map[string]int64 `json:"buckets,omitempty"`
@@ -110,15 +117,88 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	} else {
 		s.Min = 0
 	}
+	var counts [histBuckets]int64
+	var total int64
 	for k := range h.bkt {
 		if n := h.bkt[k].Load(); n > 0 {
+			counts[k] = n
+			total += n
 			if s.Buckets == nil {
 				s.Buckets = make(map[string]int64)
 			}
 			s.Buckets[bucketLabel(k)] = n
 		}
 	}
+	if total > 0 {
+		s.P50 = quantile(counts[:], total, 0.50, s.Min, s.Max)
+		s.P95 = quantile(counts[:], total, 0.95, s.Min, s.Max)
+		s.P99 = quantile(counts[:], total, 0.99, s.Min, s.Max)
+	}
 	return s
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) of the observed
+// distribution from the bucket midpoints, clamped to the observed min/max.
+// It returns 0 when nothing has been observed.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot().quantileOf(q)
+}
+
+// quantileOf recomputes a quantile from an existing snapshot's buckets.
+func (s HistogramSnapshot) quantileOf(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	var counts [histBuckets]int64
+	var total int64
+	for label, n := range s.Buckets {
+		counts[bucketOfLabel(label)] = n
+		total += n
+	}
+	return quantile(counts[:], total, q, s.Min, s.Max)
+}
+
+// bucketOfLabel inverts bucketLabel.
+func bucketOfLabel(label string) int {
+	if label == "<=inf" {
+		return histBuckets - 1
+	}
+	v, _ := strconv.ParseInt(label[2:], 10, 64)
+	return bucketOf(v)
+}
+
+// quantile walks the cumulative bucket counts to the bucket holding the
+// q-th ranked observation and returns that bucket's midpoint, clamped to
+// the observed [min, max].
+func quantile(counts []int64, total int64, q float64, min, max int64) float64 {
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for k, c := range counts {
+		cum += c
+		if cum >= rank && c > 0 {
+			mid := bucketMidpoint(k)
+			if mid < float64(min) {
+				mid = float64(min)
+			}
+			if mid > float64(max) {
+				mid = float64(max)
+			}
+			return mid
+		}
+	}
+	return float64(max)
+}
+
+// bucketMidpoint is the midpoint of bucket k's value range: bucket 0 covers
+// v <= 1, bucket k > 0 covers (2^(k-1), 2^k].
+func bucketMidpoint(k int) float64 {
+	if k == 0 {
+		return 0.5
+	}
+	return 1.5 * math.Ldexp(1, k-1)
 }
 
 // bucketLabel renders bucket k's upper bound ("<=1", "<=2", "<=4", ...).

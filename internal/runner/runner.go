@@ -84,6 +84,9 @@ type Config struct {
 	// times into its metrics registry (internal/obs). A nil recorder is a
 	// no-op.
 	Recorder *obs.Recorder
+	// Status, when non-nil, tracks live per-experiment job progress for the
+	// HTTP introspection plane (/runs). A nil board is a no-op.
+	Status *StatusBoard
 }
 
 // Progress snapshots suite completion for live reporting.
@@ -146,7 +149,8 @@ func Run(ctx context.Context, cfg Config, jobs []Job) ([]Result, error) {
 		if r.Status != StatusOK {
 			failed++
 		}
-		cfg.Recorder.JobDone(string(r.Status), r.Attempts, r.Wall)
+		cfg.Recorder.JobDone(r.JobID, string(r.Status), r.Attempts, r.Wall)
+		cfg.Status.JobFinished(r)
 		if cfg.Sink != nil {
 			if err := cfg.Sink.Write(r); err != nil && sinkErr == nil {
 				sinkErr = fmt.Errorf("runner: result sink: %w", err)

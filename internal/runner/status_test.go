@@ -1,0 +1,138 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStatusBoardLifecycle walks a board through a small suite and checks
+// every state transition the /runs endpoint exposes.
+func TestStatusBoardLifecycle(t *testing.T) {
+	b := NewStatusBoard()
+	if s := b.Snapshot(); s.Running || s.TotalJobs != 0 {
+		t.Fatalf("fresh board: %+v", s)
+	}
+
+	b.SuiteStarted([]string{"overhead", "tables"}, []int{3, 0})
+	s := b.Snapshot()
+	if !s.Running || s.TotalJobs != 3 {
+		t.Fatalf("after start: %+v", s)
+	}
+	if s.Experiments[0].State != "pending" || s.Experiments[1].State != "running" {
+		t.Fatalf("initial states: %+v", s.Experiments)
+	}
+
+	b.JobFinished(Result{JobID: "overhead/0", Experiment: "overhead", Status: StatusOK, Attempts: 1, Wall: 20 * time.Millisecond})
+	b.JobFinished(Result{JobID: "overhead/1", Experiment: "overhead", Status: StatusFailed, Attempts: 2})
+	s = b.Snapshot()
+	if s.DoneJobs != 2 || s.FailedJobs != 1 {
+		t.Fatalf("after jobs: %+v", s)
+	}
+	if e := s.Experiments[0]; e.State != "running" || e.DoneJobs != 2 || e.FailedJobs != 1 {
+		t.Fatalf("overhead state: %+v", e)
+	}
+	if s.LastJob == nil || s.LastJob.ID != "overhead/1" || s.LastJob.Attempts != 2 {
+		t.Fatalf("last job: %+v", s.LastJob)
+	}
+
+	b.ExperimentFinished("overhead", nil)
+	b.ExperimentFinished("tables", errors.New("assembly failed"))
+	b.SuiteFinished()
+	s = b.Snapshot()
+	if s.Running {
+		t.Error("suite still running after SuiteFinished")
+	}
+	if s.Experiments[0].State != "ok" {
+		t.Errorf("overhead final state %q", s.Experiments[0].State)
+	}
+	if e := s.Experiments[1]; e.State != "error" || e.Err != "assembly failed" {
+		t.Errorf("tables final state: %+v", e)
+	}
+}
+
+// TestStatusBoardUnregisteredExperiment: direct Run usage (no SuiteStarted)
+// grows totals on the fly instead of reporting done > total.
+func TestStatusBoardUnregisteredExperiment(t *testing.T) {
+	b := NewStatusBoard()
+	for i := 0; i < 3; i++ {
+		b.JobFinished(Result{JobID: "adhoc/j", Experiment: "adhoc", Status: StatusOK})
+	}
+	s := b.Snapshot()
+	if s.TotalJobs != 3 || s.DoneJobs != 3 {
+		t.Fatalf("ad-hoc totals: %+v", s)
+	}
+	if e := s.Experiments[0]; e.TotalJobs != 3 || e.DoneJobs != 3 {
+		t.Fatalf("ad-hoc experiment: %+v", e)
+	}
+}
+
+// TestStatusBoardNil: every method must be a safe no-op on a nil board.
+func TestStatusBoardNil(t *testing.T) {
+	var b *StatusBoard
+	b.SuiteStarted([]string{"x"}, []int{1})
+	b.JobFinished(Result{JobID: "x/0", Experiment: "x"})
+	b.ExperimentFinished("x", nil)
+	b.SuiteFinished()
+	if s := b.Snapshot(); s.Running || s.TotalJobs != 0 {
+		t.Fatalf("nil board snapshot: %+v", s)
+	}
+}
+
+// TestStatusBoardConcurrent: concurrent folds and snapshots stay coherent
+// (run under -race).
+func TestStatusBoardConcurrent(t *testing.T) {
+	b := NewStatusBoard()
+	b.SuiteStarted([]string{"p"}, []int{400})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.JobFinished(Result{JobID: "p/j", Experiment: "p", Status: StatusOK})
+			}
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = b.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if s := b.Snapshot(); s.DoneJobs != 400 || s.FailedJobs != 0 {
+		t.Fatalf("final: %+v", s)
+	}
+}
+
+// TestRunUpdatesStatusBoard: the runner itself must feed the board as jobs
+// complete.
+func TestRunUpdatesStatusBoard(t *testing.T) {
+	board := NewStatusBoard()
+	jobs := make([]Job, 4)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			ID: string(rune('a' + i)), Experiment: "exp",
+			Fn: func(context.Context) (map[string]float64, error) {
+				if i == 3 {
+					return nil, errors.New("planned failure")
+				}
+				return map[string]float64{"v": 1}, nil
+			},
+		}
+	}
+	if _, err := Run(context.Background(), Config{Workers: 2, Status: board}, jobs); err != nil {
+		t.Fatal(err)
+	}
+	s := board.Snapshot()
+	if s.DoneJobs != 4 || s.FailedJobs != 1 {
+		t.Fatalf("board after Run: %+v", s)
+	}
+}

@@ -62,6 +62,17 @@ func SuiteSets(ctx context.Context, sets []experiments.JobSet, cfg Config) ([]Ex
 	}
 	offsets[len(sets)] = len(flat)
 
+	if cfg.Status != nil {
+		ids := make([]string, len(sets))
+		counts := make([]int, len(sets))
+		for si, set := range sets {
+			ids[si] = set.ID
+			counts[si] = offsets[si+1] - offsets[si]
+		}
+		cfg.Status.SuiteStarted(ids, counts)
+		defer cfg.Status.SuiteFinished()
+	}
+
 	results, sinkErr := Run(ctx, cfg, flat)
 
 	runs := make([]ExperimentRun, 0, len(sets))
@@ -86,6 +97,7 @@ func SuiteSets(ctx context.Context, sets []experiments.JobSet, cfg Config) ([]Ex
 			er.Wall = last.Sub(first)
 			er.Table, er.Err = set.Assemble(points)
 		}
+		cfg.Status.ExperimentFinished(set.ID, er.Err)
 		runs = append(runs, er)
 	}
 	return runs, sinkErr

@@ -1,0 +1,77 @@
+#!/bin/sh
+# serve-smoke: end-to-end check of the live introspection plane.
+#
+# Runs quartzbench with -serve on an ephemeral port and a streaming ledger
+# sink, waits for the suite to finish (the server lingers), probes
+# /metrics, /ledger and /runs with `quartztop -once` (which validates the
+# JSON), then interrupts the linger so the sink seals and checks the
+# streamed ledger is non-empty. No fixed ports, no tools beyond the repo's
+# own binaries.
+set -eu
+
+workdir=$(mktemp -d)
+bench_pid=""
+cleanup() {
+    [ -n "$bench_pid" ] && kill "$bench_pid" 2>/dev/null || true
+    [ -n "$bench_pid" ] && wait "$bench_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building quartzbench and quartztop"
+go build -o "$workdir/quartzbench" ./cmd/quartzbench
+go build -o "$workdir/quartztop" ./cmd/quartztop
+
+# -serve-linger keeps the server up after the (fast) suite so the probe
+# reads a finished run's numbers; SIGINT below cuts the linger short.
+"$workdir/quartzbench" -exp overhead -scale quick \
+    -serve 127.0.0.1:0 -serve-linger 60s \
+    -ledger-out "$workdir/ledger.jsonl" \
+    >"$workdir/stdout.log" 2>"$workdir/stderr.log" &
+bench_pid=$!
+
+# Wait for the suite to finish: "introspection server lingering ..." on
+# stderr follows the address announcement.
+addr=""
+for _ in $(seq 1 300); do
+    if grep -q "introspection server lingering" "$workdir/stderr.log" 2>/dev/null; then
+        addr=$(sed -n 's/.*serving introspection on \(http:[^ ]*\).*/\1/p' "$workdir/stderr.log" | head -n 1)
+        break
+    fi
+    if ! kill -0 "$bench_pid" 2>/dev/null; then
+        echo "serve-smoke: quartzbench exited before lingering" >&2
+        cat "$workdir/stderr.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "serve-smoke: server never reached the linger phase" >&2
+    cat "$workdir/stderr.log" >&2
+    exit 1
+fi
+echo "serve-smoke: probing $addr"
+
+# quartztop -once GETs /metrics, /ledger and /runs, validates the JSON and
+# summarizes; a non-zero exit fails the smoke test.
+"$workdir/quartztop" -addr "$addr" -once | tee "$workdir/probe.log"
+if ! grep -q "epochs closed" "$workdir/probe.log"; then
+    echo "serve-smoke: probe output missing metrics summary" >&2
+    exit 1
+fi
+
+# SIGINT ends the linger; quartzbench then seals the ledger sink and exits.
+kill -INT "$bench_pid"
+wait "$bench_pid" || {
+    echo "serve-smoke: quartzbench exited non-zero" >&2
+    cat "$workdir/stderr.log" >&2
+    exit 1
+}
+bench_pid=""
+if ! [ -s "$workdir/ledger.jsonl" ]; then
+    echo "serve-smoke: ledger sink wrote nothing" >&2
+    exit 1
+fi
+records=$(wc -l < "$workdir/ledger.jsonl")
+echo "serve-smoke: ledger streamed $records records"
+echo "serve-smoke: OK"
