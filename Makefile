@@ -5,7 +5,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build vet test bench-quick bench bench-compare bench-smoke serve-smoke full-results docs-check ci
+.PHONY: all build vet test bench-quick bench bench-compare bench-smoke serve-smoke traffic-smoke full-results docs-check ci
 
 all: vet test
 
@@ -27,13 +27,19 @@ docs-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
-ci: docs-check test bench-smoke serve-smoke
+ci: docs-check test bench-smoke serve-smoke traffic-smoke
 
 # serve-smoke end-to-end checks the live introspection plane: quartzbench
 # -serve on an ephemeral port with a streaming ledger sink, probed by
 # quartztop -once (validates /metrics, /ledger and /runs).
 serve-smoke:
 	sh scripts/serve-smoke.sh
+
+# traffic-smoke end-to-end checks the traffic scenario engine: a narrowed
+# traffic-sweep through quartzbench -serve, asserting a well-formed SLO
+# report, live traffic metrics on the probe, and a dense streamed ledger.
+traffic-smoke:
+	sh scripts/traffic-smoke.sh
 
 # bench-quick regenerates two representative artifacts on the parallel
 # runner — a fast smoke test of the whole stack — and runs the hot-path

@@ -36,6 +36,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
@@ -43,6 +44,7 @@ import (
 	"github.com/quartz-emu/quartz/internal/obs"
 	"github.com/quartz-emu/quartz/internal/obs/obshttp"
 	"github.com/quartz-emu/quartz/internal/runner"
+	"github.com/quartz-emu/quartz/internal/workload"
 )
 
 func main() {
@@ -70,6 +72,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ledgerOut    = fs.String("ledger-out", "", "stream every epoch record to this file as it closes (removes the in-memory ledger bound)")
 		ledgerFormat = fs.String("ledger-format", "jsonl", "ledger sink encoding: jsonl or binary")
 		ledgerRotMB  = fs.Int64("ledger-rotate-mb", 0, "rotate the ledger sink file after this many MiB (0 = never)")
+		trafClients  = fs.String("traffic-clients", "", "comma-separated client counts overriding the scale's traffic-* sweep (e.g. 64,256,1024)")
+		trafMixes    = fs.String("traffic-mixes", "", "comma-separated mix presets overriding the scale's traffic-* sweep (read-mostly, write-heavy, scan-blend)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -101,6 +105,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scale = experiments.Full
 	default:
 		fmt.Fprintf(stderr, "quartzbench: unknown scale %q (quick|full)\n", *scaleFlag)
+		return 2
+	}
+	if err := applyTrafficOverrides(&scale, *trafClients, *trafMixes); err != nil {
+		fmt.Fprintf(stderr, "quartzbench: %v\n", err)
 		return 2
 	}
 
@@ -308,6 +316,36 @@ func validateFlags(list bool, parallel, retries int, serve string, linger time.D
 		return 0, fmt.Errorf("-serve makes no sense with -list (nothing runs)")
 	}
 	return sinkFormat, nil
+}
+
+// applyTrafficOverrides narrows the scale's traffic sweep from the
+// -traffic-clients / -traffic-mixes flags, validating both lists upfront so
+// a typo fails before any experiment runs.
+func applyTrafficOverrides(scale *experiments.Scale, clientsCSV, mixesCSV string) error {
+	if clientsCSV != "" {
+		var clients []int
+		for _, s := range strings.Split(clientsCSV, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("-traffic-clients: %q is not a positive client count", s)
+			}
+			clients = append(clients, n)
+		}
+		scale.TrafficClients = clients
+	}
+	if mixesCSV != "" {
+		var mixes []string
+		for _, s := range strings.Split(mixesCSV, ",") {
+			name := strings.TrimSpace(s)
+			if _, ok := workload.MixByName(name); !ok {
+				return fmt.Errorf("-traffic-mixes: unknown mix %q (known: %s)",
+					name, strings.Join(workload.PresetNames(), ", "))
+			}
+			mixes = append(mixes, name)
+		}
+		scale.TrafficMixes = mixes
+	}
+	return nil
 }
 
 // writeObservability exports the recorder's trace file and/or metrics

@@ -58,6 +58,49 @@ func TestUnknownScaleRejected(t *testing.T) {
 	}
 }
 
+// TestTrafficFlagValidation: bad -traffic-clients / -traffic-mixes values
+// must fail upfront (exit 2) before any experiment runs, and the mix error
+// must name the known presets.
+func TestTrafficFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-exp", "traffic-sweep", "-traffic-clients", "8,zero"},
+		{"-exp", "traffic-sweep", "-traffic-clients", "0"},
+		{"-exp", "traffic-sweep", "-traffic-clients", "-4"},
+		{"-exp", "traffic-sweep", "-traffic-mixes", "read-heavy"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Errorf("%v: exit = %d, want 2", args, code)
+		}
+	}
+	_, _, stderr := runCLI(t, "-exp", "traffic-sweep", "-traffic-mixes", "nope")
+	if !strings.Contains(stderr, "read-mostly") {
+		t.Errorf("mix error does not name known presets: %q", stderr)
+	}
+}
+
+// TestTrafficOverrides applies both traffic flags to the scale.
+func TestTrafficOverrides(t *testing.T) {
+	s := experiments.Quick
+	if err := applyTrafficOverrides(&s, "8, 24", "scan-blend"); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.TrafficClients) != 2 || s.TrafficClients[0] != 8 || s.TrafficClients[1] != 24 {
+		t.Errorf("TrafficClients = %v", s.TrafficClients)
+	}
+	if len(s.TrafficMixes) != 1 || s.TrafficMixes[0] != "scan-blend" {
+		t.Errorf("TrafficMixes = %v", s.TrafficMixes)
+	}
+	// Empty flags leave the scale untouched.
+	s2 := experiments.Quick
+	if err := applyTrafficOverrides(&s2, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.TrafficClients) != len(experiments.Quick.TrafficClients) {
+		t.Errorf("empty override changed TrafficClients: %v", s2.TrafficClients)
+	}
+}
+
 // TestRunWritesTableAndJSONL exercises the full CLI path on the job-less
 // table1 artifact (no simulation, so the test stays fast).
 func TestRunWritesTableAndJSONL(t *testing.T) {

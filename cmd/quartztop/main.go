@@ -164,6 +164,11 @@ func probeOnce(c *client, w io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "metrics: %d entries, epochs closed %.0f\n", len(m), m.counter("quartz.epochs.closed"))
+	if ops := m.counter("quartz.ops.count"); ops > 0 {
+		fmt.Fprintf(w, "traffic: %.0f ops (read %.0f, update %.0f, scan %.0f), op p99 %s\n",
+			ops, m.counter("quartz.ops.read.count"), m.counter("quartz.ops.update.count"),
+			m.counter("quartz.ops.scan.count"), fmtNS(m.histQ("quartz.ops.latency_ns", "p99")))
+	}
 	fmt.Fprintf(w, "ledger: total %d, page of %d records (next=%d)\n", lp.Total, len(lp.Records), lp.Next)
 	if haveRuns {
 		fmt.Fprintf(w, "runs: %d/%d jobs done, %d failed, running=%v\n",
@@ -174,11 +179,26 @@ func probeOnce(c *client, w io.Writer) error {
 	return nil
 }
 
-// eventCounts tallies SSE events by kind.
+// trafficEvent mirrors the "traffic" SSE event payload (obs.Event's traffic
+// fields): live scenario progress published by the workload engine.
+type trafficEvent struct {
+	Scenario  string  `json:"scenario"`
+	Clients   int     `json:"clients"`
+	Mix       string  `json:"mix"`
+	Done      int64   `json:"done"`
+	TotalOps  int64   `json:"total_ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P99NS     float64 `json:"p99_ns"`
+}
+
+// eventCounts tallies SSE events by kind and keeps the newest traffic
+// scenario payload for the live panel.
 type eventCounts struct {
 	connected     atomic.Bool
 	epoch, inject atomic.Int64
 	throttle, job atomic.Int64
+	traffic       atomic.Int64
+	lastTraffic   atomic.Pointer[trafficEvent]
 }
 
 // watchEvents consumes the SSE stream, counting events until ctx ends. It
@@ -211,8 +231,18 @@ func streamEvents(ctx context.Context, c *client, ec *eventCounts) {
 	ec.connected.Store(true)
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	var pendingTraffic bool // the next "data: " line belongs to a traffic event
 	for sc.Scan() {
 		line := sc.Text()
+		if pendingTraffic {
+			pendingTraffic = false
+			if data, ok := strings.CutPrefix(line, "data: "); ok {
+				var te trafficEvent
+				if json.Unmarshal([]byte(data), &te) == nil {
+					ec.lastTraffic.Store(&te)
+				}
+			}
+		}
 		kind, ok := strings.CutPrefix(line, "event: ")
 		if !ok {
 			continue
@@ -226,6 +256,9 @@ func streamEvents(ctx context.Context, c *client, ec *eventCounts) {
 			ec.throttle.Add(1)
 		case "job":
 			ec.job.Add(1)
+		case "traffic":
+			ec.traffic.Add(1)
+			pendingTraffic = true
 		}
 	}
 }
@@ -318,9 +351,11 @@ func render(w io.Writer, base string, cur, prev *sample, ec *eventCounts) {
 		m.counter("mem.throttle.programmed.read"), m.counter("mem.throttle.programmed.write"),
 		m.counter("mem.bucket.refills.read"), m.counter("mem.bucket.refills.write"))
 
+	renderTraffic(w, cur, prev, ec)
+
 	if ec.connected.Load() {
-		fmt.Fprintf(w, "  events (SSE)    epoch %d  inject %d  throttle %d  job %d\n",
-			ec.epoch.Load(), ec.inject.Load(), ec.throttle.Load(), ec.job.Load())
+		fmt.Fprintf(w, "  events (SSE)    epoch %d  inject %d  throttle %d  job %d  traffic %d\n",
+			ec.epoch.Load(), ec.inject.Load(), ec.throttle.Load(), ec.job.Load(), ec.traffic.Load())
 	} else {
 		fmt.Fprintf(w, "  events (SSE)    connecting...\n")
 	}
@@ -358,6 +393,38 @@ func render(w io.Writer, base string, cur, prev *sample, ec *eventCounts) {
 		fmt.Fprintf(w, "\n  %s\n", strings.Join(extras, "   "))
 	}
 	fmt.Fprintln(w, "\n  (Ctrl-C to quit)")
+}
+
+// renderTraffic draws the serving-traffic panel: cumulative op counts and
+// latency quantiles from the quartz.ops.* metric family, a wall-clock op rate
+// from the delta between polls, and the newest traffic SSE event's scenario
+// progress. Hidden until a traffic scenario has run.
+func renderTraffic(w io.Writer, cur, prev *sample, ec *eventCounts) {
+	m := cur.metrics
+	ops := m.counter("quartz.ops.count")
+	te := ec.lastTraffic.Load()
+	if ops == 0 && te == nil {
+		return
+	}
+	wallRate := 0.0
+	if prev != nil {
+		if dt := cur.at.Sub(prev.at).Seconds(); dt > 0 {
+			wallRate = (ops - prev.metrics.counter("quartz.ops.count")) / dt
+		}
+	}
+	fmt.Fprintf(w, "  traffic ops     %12.0f   (%.0f/s wall)   read %.0f  update %.0f  scan %.0f\n",
+		ops, wallRate,
+		m.counter("quartz.ops.read.count"), m.counter("quartz.ops.update.count"),
+		m.counter("quartz.ops.scan.count"))
+	fmt.Fprintf(w, "  op lat p50/p95/p99      %s / %s / %s\n",
+		fmtNS(m.histQ("quartz.ops.latency_ns", "p50")),
+		fmtNS(m.histQ("quartz.ops.latency_ns", "p95")),
+		fmtNS(m.histQ("quartz.ops.latency_ns", "p99")))
+	if te != nil {
+		fmt.Fprintf(w, "  scenario %-24s %s %d/%d ops  %.0f ops/s sim  p99 %s\n",
+			te.Scenario, bar(int(te.Done), int(te.TotalOps), 20), te.Done, te.TotalOps,
+			te.OpsPerSec, fmtNS(te.P99NS))
+	}
 }
 
 // bar renders a width-character progress bar.

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -104,6 +107,94 @@ func TestMonitorRendersFrames(t *testing.T) {
 		if !strings.Contains(stdout, want) {
 			t.Errorf("frame missing %q:\n%s", want, stdout)
 		}
+	}
+}
+
+// trafficServer spins up an introspection server whose recorder has served
+// traffic: quartz.ops.* metrics plus the quartz.traffic.* gauges.
+func trafficServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	rec := obs.New(0)
+	reg := rec.Registry()
+	reg.Counter("quartz.ops.count").Add(100)
+	reg.Counter("quartz.ops.read.count").Add(70)
+	reg.Counter("quartz.ops.update.count").Add(20)
+	reg.Counter("quartz.ops.scan.count").Add(10)
+	for i := int64(1); i <= 100; i++ {
+		reg.Histogram("quartz.ops.latency_ns").Observe(i * 100)
+	}
+	rec.EpochClosed(obs.EpochRecord{PID: 1, Reason: "max", Delay: sim.Microsecond})
+	rec.TrafficProgress("read-mostly/lat=200ns/clients=8", "read-mostly", 8, 50, 100, 123456, 9000)
+	srv := httptest.NewServer(obshttp.Handler(obshttp.Options{Recorder: rec}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestOnceTrafficLine: with served traffic, -once prints the traffic summary
+// line (what scripts/traffic-smoke.sh greps for).
+func TestOnceTrafficLine(t *testing.T) {
+	srv := trafficServer(t)
+	code, stdout, stderr := runCLI(t, "-addr", srv.URL, "-once")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "traffic: 100 ops (read 70, update 20, scan 10)") {
+		t.Errorf("traffic line wrong:\n%s", stdout)
+	}
+}
+
+// TestOnceNoTrafficLine: without traffic metrics the line stays hidden.
+func TestOnceNoTrafficLine(t *testing.T) {
+	srv := testServer(t, false)
+	_, stdout, _ := runCLI(t, "-addr", srv.URL, "-once")
+	if strings.Contains(stdout, "traffic:") {
+		t.Errorf("traffic line shown without traffic:\n%s", stdout)
+	}
+}
+
+// TestMonitorTrafficPanel: the TUI frame shows the traffic panel with op
+// counts and latency quantiles when a scenario has run.
+func TestMonitorTrafficPanel(t *testing.T) {
+	srv := trafficServer(t)
+	code, stdout, stderr := runCLI(t, "-addr", srv.URL, "-n", "1", "-interval", "10ms")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"traffic ops", "read 70", "update 20", "scan 10", "op lat p50/p95/p99"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("frame missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestStreamEventsTraffic: streamEvents must count traffic events and decode
+// the following data line into lastTraffic.
+func TestStreamEventsTraffic(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, ": connected\n\n")
+		fmt.Fprint(w, "event: epoch\ndata: {\"kind\":\"epoch\"}\n\n")
+		fmt.Fprint(w, "event: traffic\ndata: {\"kind\":\"traffic\",\"scenario\":\"s1\",\"mix\":\"write-heavy\","+
+			"\"clients\":32,\"done\":10,\"total_ops\":64,\"ops_per_sec\":5000,\"p99_ns\":1500}\n\n")
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	c := &client{base: srv.URL, hc: &http.Client{Transport: http.DefaultTransport}}
+	var ec eventCounts
+	streamEvents(context.Background(), c, &ec)
+	if got := ec.traffic.Load(); got != 1 {
+		t.Errorf("traffic events = %d, want 1", got)
+	}
+	if got := ec.epoch.Load(); got != 1 {
+		t.Errorf("epoch events = %d, want 1", got)
+	}
+	te := ec.lastTraffic.Load()
+	if te == nil {
+		t.Fatal("lastTraffic not captured")
+	}
+	if te.Scenario != "s1" || te.Mix != "write-heavy" || te.Clients != 32 ||
+		te.Done != 10 || te.TotalOps != 64 || te.OpsPerSec != 5000 || te.P99NS != 1500 {
+		t.Errorf("lastTraffic = %+v", *te)
 	}
 }
 

@@ -1,0 +1,100 @@
+package kvstore
+
+import (
+	"fmt"
+
+	"github.com/quartz-emu/quartz/internal/simos"
+	"github.com/quartz-emu/quartz/internal/workload"
+)
+
+// TrafficTarget adapts a Store to the traffic engine's workload.Target
+// surface, adding the same per-key payload touches the validation workload
+// charges (value bytes in a separate arena, so serving traffic is
+// memory-bound the way production values are, not just tree-node-bound).
+type TrafficTarget struct {
+	s          *Store
+	arena      uintptr
+	valueBytes int
+}
+
+// NewTrafficTarget builds the adapter. valueBytes > 0 attaches a payload
+// arena sized for keys in [0, keySpace) from alloc; 0 skips payloads.
+func NewTrafficTarget(s *Store, keySpace uint64, valueBytes int, alloc Alloc) (*TrafficTarget, error) {
+	tt := &TrafficTarget{s: s, valueBytes: valueBytes}
+	if valueBytes > 0 {
+		if alloc == nil {
+			return nil, fmt.Errorf("kvstore: traffic valueBytes set without alloc")
+		}
+		arena, err := alloc(uintptr(keySpace) * uintptr(valueBytes))
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: traffic payload arena: %w", err)
+		}
+		tt.arena = arena
+	}
+	return tt, nil
+}
+
+// touchValue charges the payload access for key: up to two cache lines at
+// the head of the value slot, read or written — the validation workload's
+// exact cost model.
+func (tt *TrafficTarget) touchValue(t *simos.Thread, key uint64, write bool) {
+	if tt.arena == 0 {
+		return
+	}
+	addr := tt.arena + uintptr(key)*uintptr(tt.valueBytes)
+	lines := (tt.valueBytes + 63) / 64
+	if lines > 2 {
+		lines = 2
+	}
+	for l := 0; l < lines; l++ {
+		if write {
+			t.Store(addr + uintptr(l*64))
+		} else {
+			t.Load(addr + uintptr(l*64))
+		}
+	}
+}
+
+// Preload inserts keys 0..count-1 from th, writing each payload, so scans
+// over the traffic key space find dense runs.
+func (tt *TrafficTarget) Preload(th *simos.Thread, count uint64) error {
+	for k := uint64(0); k < count; k++ {
+		if err := tt.s.Put(th, k, k); err != nil {
+			return fmt.Errorf("kvstore: traffic preload: %w", err)
+		}
+		tt.touchValue(th, k, true)
+	}
+	return nil
+}
+
+// Read looks key up and reads its payload on a hit.
+func (tt *TrafficTarget) Read(t *simos.Thread, key uint64) bool {
+	_, ok := tt.s.Get(t, key)
+	if ok {
+		tt.touchValue(t, key, false)
+	}
+	return ok
+}
+
+// Update inserts or overwrites key and writes its payload.
+func (tt *TrafficTarget) Update(t *simos.Thread, key uint64, value uint64) error {
+	if err := tt.s.Put(t, key, value); err != nil {
+		return err
+	}
+	tt.touchValue(t, key, true)
+	return nil
+}
+
+// Scan visits up to limit items from key onward, reading each payload.
+func (tt *TrafficTarget) Scan(t *simos.Thread, key uint64, limit int) int {
+	n := 0
+	tt.s.Scan(t, key, limit, func(k, v uint64) bool {
+		tt.touchValue(t, k, false)
+		n++
+		return true
+	})
+	return n
+}
+
+// TrafficTarget implements workload.Target.
+var _ workload.Target = (*TrafficTarget)(nil)

@@ -5,6 +5,7 @@ import (
 
 	"github.com/quartz-emu/quartz/internal/sim"
 	"github.com/quartz-emu/quartz/internal/simos"
+	"github.com/quartz-emu/quartz/internal/workload"
 )
 
 // WorkloadConfig drives the §4.7 put/get experiment.
@@ -92,13 +93,12 @@ func RunWorkload(s *Store, main *simos.Thread, cfg WorkloadConfig, closeEpoch fu
 		}
 	}
 
-	rng := cfg.Seed*2862933555777941757 + 3037000493
-	nextRand := func() uint64 {
-		rng = rng*6364136223846793005 + 1442695040888963407
-		return rng >> 11
-	}
+	// Key and op-pick streams come from internal/workload, which preserves
+	// this figure's historical generator bit-for-bit (golden-checked).
+	dist := workload.Uniform{Keys: keySpace}
+	pre := workload.NewLCG(workload.PreloadState(cfg.Seed))
 	for i := 0; i < cfg.Preload; i++ {
-		key := nextRand() % keySpace
+		key := dist.Key(&pre)
 		if err := s.Put(main, key, uint64(i)); err != nil {
 			return WorkloadResult{}, fmt.Errorf("kvstore: preload: %w", err)
 		}
@@ -122,7 +122,6 @@ func RunWorkload(s *Store, main *simos.Thread, cfg WorkloadConfig, closeEpoch fu
 	var firstErr error
 	for w := 0; w < cfg.Threads; w++ {
 		w := w
-		seed := cfg.Seed + uint64(w)*0x9e3779b97f4a7c15 + 1
 		th, err := main.CreateThread(fmt.Sprintf("kv-client-%d", w), func(t *simos.Thread) {
 			startMu.Lock(t)
 			arrived++
@@ -131,14 +130,10 @@ func RunWorkload(s *Store, main *simos.Thread, cfg WorkloadConfig, closeEpoch fu
 				goCv.Wait(t, startMu)
 			}
 			startMu.Unlock(t)
-			x := seed
-			next := func() uint64 {
-				x = x*6364136223846793005 + 1442695040888963407
-				return x >> 11
-			}
+			r := workload.NewLCG(workload.ClientState(cfg.Seed, w))
 			for i := 0; i < cfg.OpsPerThread; i++ {
-				key := next() % keySpace
-				if float64(next()%1000)/1000 < cfg.GetFraction {
+				key := dist.Key(&r)
+				if workload.GetDraw(&r, cfg.GetFraction) {
 					if _, ok := s.Get(t, key); ok {
 						touchValue(t, key, false)
 					}

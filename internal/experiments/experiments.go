@@ -36,6 +36,21 @@ type Scale struct {
 	PRVertices, PREdgesPerVertex int
 	// PRIters bounds PageRank iterations.
 	PRIters int
+	// TrafficClients is the client-count sweep of the traffic experiments.
+	TrafficClients []int
+	// TrafficPool is the serving pool size (simos threads) per scenario.
+	TrafficPool int
+	// TrafficOps / TrafficWarmup are the per-client measured and warmup op
+	// counts.
+	TrafficOps, TrafficWarmup int
+	// TrafficPreload is the key count preloaded into the traffic store (also
+	// the zipfian key-space size).
+	TrafficPreload int
+	// TrafficMixes selects the workload.Presets mixes swept.
+	TrafficMixes []string
+	// TrafficLatsNS is the emulated NVM latency sweep of the traffic
+	// experiments.
+	TrafficLatsNS []float64
 	// Sparse trims sweep grids (fewer latency points / patterns) for
 	// quick runs; Full uses the paper's complete grids.
 	Sparse bool
@@ -55,6 +70,13 @@ var Quick = Scale{
 	PRVertices:       20_000,
 	PREdgesPerVertex: 6,
 	PRIters:          6,
+	TrafficClients:   []int{16, 64, 256},
+	TrafficPool:      4,
+	TrafficOps:       30,
+	TrafficWarmup:    8,
+	TrafficPreload:   32_000,
+	TrafficMixes:     []string{"read-mostly", "write-heavy", "scan-blend"},
+	TrafficLatsNS:    []float64{200, 1000},
 }
 
 // Full is the EXPERIMENTS.md scale.
@@ -70,6 +92,13 @@ var Full = Scale{
 	PRVertices:       50_000,
 	PREdgesPerVertex: 8,
 	PRIters:          10,
+	TrafficClients:   []int{256, 1_024, 4_096, 16_384, 32_768},
+	TrafficPool:      16,
+	TrafficOps:       50,
+	TrafficWarmup:    10,
+	TrafficPreload:   100_000,
+	TrafficMixes:     []string{"read-mostly", "write-heavy", "scan-blend"},
+	TrafficLatsNS:    []float64{200, 600, 2_000},
 }
 
 // Metrics is the flat numeric result of one job, keyed by metric name

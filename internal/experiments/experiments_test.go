@@ -22,6 +22,13 @@ var tiny = Scale{
 	PRVertices:       500,
 	PREdgesPerVertex: 4,
 	PRIters:          3,
+	TrafficClients:   []int{4, 8, 16},
+	TrafficPool:      2,
+	TrafficOps:       6,
+	TrafficWarmup:    2,
+	TrafficPreload:   200,
+	TrafficMixes:     []string{"read-mostly", "scan-blend"},
+	TrafficLatsNS:    []float64{300},
 }
 
 func TestRegistryComplete(t *testing.T) {
@@ -31,6 +38,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table2", "fig8", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "pagerank-validate", "overhead", "epoch-size",
 		"model-ablation", "pcommit", "amortization", "graph500-validate", "ext-asym-bw",
+		"traffic-sweep", "traffic-slo",
 	}
 	have := map[string]bool{}
 	for _, id := range All() {

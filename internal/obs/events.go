@@ -11,7 +11,8 @@ import (
 // quartztop); the ledger and the metrics registry remain the authoritative
 // records — an overloaded subscriber loses events, never ledger records.
 type Event struct {
-	// Kind discriminates the payload: "epoch", "inject", "throttle", "job".
+	// Kind discriminates the payload: "epoch", "inject", "throttle", "job",
+	// "traffic".
 	Kind string `json:"kind"`
 
 	// Epoch close / injection fields (Kind "epoch" and "inject"). Seq is the
@@ -34,6 +35,17 @@ type Event struct {
 	Status   string  `json:"status,omitempty"`
 	Attempts int     `json:"attempts,omitempty"`
 	WallMS   float64 `json:"wall_ms,omitempty"`
+
+	// Traffic scenario progress fields (Kind "traffic"): the scenario name,
+	// its client count and op mix, measured-op progress, and the live
+	// throughput/p99 of the measurement window so far (simulated time).
+	Scenario  string  `json:"scenario,omitempty"`
+	Clients   int     `json:"clients,omitempty"`
+	Mix       string  `json:"mix,omitempty"`
+	Done      int64   `json:"done,omitempty"`
+	TotalOps  int64   `json:"total_ops,omitempty"`
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
+	P99NS     float64 `json:"p99_ns,omitempty"`
 }
 
 // eventHub fans events out to subscribers over buffered channels. Publishing

@@ -348,6 +348,26 @@ func (r *Recorder) JobDone(jobID, status string, attempts int, wall time.Duratio
 	})
 }
 
+// TrafficProgress publishes one traffic-scenario progress event and refreshes
+// the quartz.traffic.* live gauges: the scenario's measured-op progress plus
+// the measurement window's running throughput and p99 latency (simulated
+// time). The traffic engine calls it periodically during the measured phase
+// and once at scenario completion.
+func (r *Recorder) TrafficProgress(scenario, mix string, clients int, done, total int64, opsPerSec, p99NS float64) {
+	if r == nil {
+		return
+	}
+	r.reg.Gauge("quartz.traffic.clients").Set(float64(clients))
+	r.reg.Gauge("quartz.traffic.done").Set(float64(done))
+	r.reg.Gauge("quartz.traffic.total_ops").Set(float64(total))
+	r.reg.Gauge("quartz.traffic.ops_per_sec").Set(opsPerSec)
+	r.reg.Gauge("quartz.traffic.p99_ns").Set(p99NS)
+	r.hub.publish(Event{
+		Kind: "traffic", Scenario: scenario, Mix: mix, Clients: clients,
+		Done: done, TotalOps: total, OpsPerSec: opsPerSec, P99NS: p99NS,
+	})
+}
+
 // ledgerLocked returns the retained records in Seq order. Caller holds r.mu.
 func (r *Recorder) ledgerLocked() []EpochRecord {
 	out := make([]EpochRecord, 0, len(r.ledger))

@@ -24,6 +24,13 @@ var suiteScale = experiments.Scale{
 	PRVertices:       400,
 	PREdgesPerVertex: 4,
 	PRIters:          2,
+	TrafficClients:   []int{4, 8, 16},
+	TrafficPool:      2,
+	TrafficOps:       5,
+	TrafficWarmup:    2,
+	TrafficPreload:   150,
+	TrafficMixes:     []string{"read-mostly", "write-heavy"},
+	TrafficLatsNS:    []float64{300},
 }
 
 // renderAll concatenates the rendered tables of a suite run.
@@ -61,6 +68,31 @@ func TestSuiteDeterminism(t *testing.T) {
 	}
 	if len(want) == 0 {
 		t.Fatal("empty suite output")
+	}
+}
+
+// TestTrafficSuiteDeterminism: the traffic sweep's client x mix x latency
+// matrix — whose per-client generators are merged by position — must
+// assemble byte-identical tables for 1 vs. N workers, the ISSUE 6 gate.
+func TestTrafficSuiteDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments")
+	}
+	ids := []string{"traffic-sweep", "traffic-slo"}
+	serial, err := Suite(context.Background(), ids, suiteScale, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Suite(context.Background(), ids, suiteScale, Config{Workers: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := renderAll(t, serial), renderAll(t, parallel)
+	if want != got {
+		t.Errorf("parallel traffic tables diverge from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+	}
+	if !strings.Contains(want, "knee") {
+		t.Errorf("traffic sweep reports no knee:\n%s", want)
 	}
 }
 

@@ -1,0 +1,368 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/quartz-emu/quartz/internal/obs"
+	"github.com/quartz-emu/quartz/internal/sim"
+	"github.com/quartz-emu/quartz/internal/simos"
+)
+
+// Target is the application-side surface a scenario drives — the three
+// YCSB-style verbs. Implementations charge simulated time (loads, stores,
+// compute) on the calling thread; internal/apps/kvstore.TrafficTarget adapts
+// the validation KV store.
+type Target interface {
+	// Read looks key up, reporting presence.
+	Read(t *simos.Thread, key uint64) bool
+	// Update inserts or overwrites key.
+	Update(t *simos.Thread, key uint64, value uint64) error
+	// Scan visits up to limit items from key onward, reporting how many it
+	// saw.
+	Scan(t *simos.Thread, key uint64, limit int) int
+}
+
+// ScenarioConfig describes one traffic scenario: who the clients are, what
+// they ask for, and how they arrive.
+type ScenarioConfig struct {
+	// Name labels the scenario in reports, metrics and events.
+	Name string
+	// Clients is the number of simulated clients. Clients are lightweight
+	// state machines (a generator plus a due time), so tens of thousands
+	// multiplex over a small pool.
+	Clients int
+	// PoolThreads is the number of simos threads serving the clients
+	// (client c is owned by thread c % PoolThreads). The pool models the
+	// server's worker threads; client count beyond it creates queueing.
+	PoolThreads int
+	// WarmupOps is the per-client op count run before the measurement
+	// window opens. Warmup ops never reach the histograms or metrics.
+	WarmupOps int
+	// MeasureOps is the per-client measured op count.
+	MeasureOps int
+	// Keys is the key-popularity distribution. Required.
+	Keys KeyDist
+	// Mix is the operation blend.
+	Mix Mix
+	// Seed drives every client stream (see ClientState).
+	Seed uint64
+	// ThinkTime is the closed-loop pause between a client's completion and
+	// its next request (0 = back-to-back).
+	ThinkTime sim.Time
+	// ArrivalPeriod, when positive, switches the scenario to an open loop:
+	// each client issues requests on a fixed schedule (one per period,
+	// phase-staggered across clients) regardless of completions, so
+	// latency includes queueing backlog once the pool saturates. Zero is
+	// the closed loop.
+	ArrivalPeriod sim.Time
+	// CloseEpoch, when non-nil, is invoked per pool thread before its final
+	// timestamp (the emulator's CloseEpoch) so trailing epoch delays land
+	// inside the measured window — the same contract as the validation
+	// workload.
+	CloseEpoch func(*simos.Thread)
+	// Obs, when non-nil, feeds the live introspection plane: per-op-kind
+	// quartz.ops.* counters and latency histograms, and "traffic" progress
+	// events. It never influences the measured result.
+	Obs *obs.Recorder
+	// EventEvery is the number of measured ops between traffic progress
+	// events (0 selects a default; negative disables progress events).
+	EventEvery int
+}
+
+// defaultEventEvery spaces traffic progress events when EventEvery is 0.
+const defaultEventEvery = 4096
+
+// Validate reports configuration errors.
+func (c ScenarioConfig) Validate() error {
+	if c.Clients <= 0 || c.PoolThreads <= 0 || c.MeasureOps <= 0 || c.WarmupOps < 0 {
+		return fmt.Errorf("workload: bad scenario sizing (clients=%d pool=%d measure=%d warmup=%d)",
+			c.Clients, c.PoolThreads, c.MeasureOps, c.WarmupOps)
+	}
+	if c.Keys == nil || c.Keys.N() == 0 {
+		return fmt.Errorf("workload: scenario %q has no key distribution", c.Name)
+	}
+	if c.ThinkTime < 0 || c.ArrivalPeriod < 0 {
+		return fmt.Errorf("workload: negative think/arrival time")
+	}
+	return c.Mix.Validate()
+}
+
+// Latencies are a scenario's measured-op latency histograms: one per op
+// kind plus the all-ops aggregate, in the obs power-of-two form (so
+// p50/p95/p99 come straight from Snapshot).
+type Latencies struct {
+	All  obs.Histogram
+	Kind [NumOpKinds]obs.Histogram
+}
+
+// ScenarioResult is one scenario's measured outcome. All quantities are
+// simulated time — deterministic for a given configuration.
+type ScenarioResult struct {
+	Name    string
+	Clients int
+	// CT is the measurement window: barrier release to the last pool
+	// thread's completion.
+	CT sim.Time
+	// Ops counts measured operations (Clients * MeasureOps on success).
+	Ops int64
+	// Counts breaks Ops down by kind.
+	Counts [NumOpKinds]int64
+	// OpsPerSec is the measured throughput in simulated time.
+	OpsPerSec float64
+	// Lat holds the latency histograms. Latency is response time: op
+	// completion minus the op's due time, so it includes time spent queued
+	// behind other clients on the pool (closed loop) or behind the arrival
+	// schedule (open loop).
+	Lat *Latencies
+}
+
+// Quantiles reports the all-ops p50/p95/p99 in nanoseconds.
+func (r ScenarioResult) Quantiles() (p50, p95, p99 float64) {
+	s := r.Lat.All.Snapshot()
+	return s.P50, s.P95, s.P99
+}
+
+// client is one simulated client's scheduling state.
+type client struct {
+	gen  ClientGen
+	due  sim.Time
+	done int
+}
+
+// liveMetrics caches the registry handles the engine feeds per measured op,
+// so the hot path never touches the registry's name map.
+type liveMetrics struct {
+	allCount  *obs.Counter
+	allLat    *obs.Histogram
+	kindCount [NumOpKinds]*obs.Counter
+	kindLat   [NumOpKinds]*obs.Histogram
+}
+
+// newLiveMetrics resolves the quartz.ops.* metric family, or nil when no
+// recorder is attached.
+func newLiveMetrics(rec *obs.Recorder) *liveMetrics {
+	reg := rec.Registry()
+	if reg == nil {
+		return nil
+	}
+	lm := &liveMetrics{
+		allCount: reg.Counter("quartz.ops.count"),
+		allLat:   reg.Histogram("quartz.ops.latency_ns"),
+	}
+	for k := 0; k < NumOpKinds; k++ {
+		name := OpKind(k).String()
+		lm.kindCount[k] = reg.Counter("quartz.ops." + name + ".count")
+		lm.kindLat[k] = reg.Histogram("quartz.ops." + name + ".latency_ns")
+	}
+	return lm
+}
+
+// RunScenario drives cfg against target from main, spawning the pool,
+// running the warmup phase, opening the measurement window at a pool-wide
+// barrier, and collecting the measured ops. The returned result depends only
+// on the configuration (never on the host's scheduling), and per-client op
+// streams depend only on (Seed, client index) — the same streams for any
+// PoolThreads value.
+func RunScenario(main *simos.Thread, target Target, cfg ScenarioConfig) (ScenarioResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return ScenarioResult{}, err
+	}
+	res := ScenarioResult{Name: cfg.Name, Clients: cfg.Clients, Lat: &Latencies{}}
+
+	pool := cfg.PoolThreads
+	if pool > cfg.Clients {
+		pool = cfg.Clients
+	}
+	// The measurement barrier: every pool thread finishes warmup, then main
+	// stamps the window open; injected emulator delays propagate through the
+	// barrier like any sync event.
+	bar, err := main.Process().NewBarrier(cfg.Name+"-measure", pool+1)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+
+	lm := newLiveMetrics(cfg.Obs)
+	eventEvery := cfg.EventEvery
+	if eventEvery == 0 {
+		eventEvery = defaultEventEvery
+	}
+	totalOps := int64(cfg.Clients) * int64(cfg.MeasureOps)
+
+	// Per-worker tallies, merged by position after the join so the result
+	// never depends on worker completion order.
+	perWorker := make([][NumOpKinds]int64, pool)
+	var winStart sim.Time
+	// measuredSoFar feeds progress events only; pool threads interleave
+	// cooperatively within one simulation kernel, so plain increments are
+	// race-free.
+	var measuredSoFar int64
+	var firstErr error
+
+	workers := make([]*simos.Thread, 0, pool)
+	for w := 0; w < pool; w++ {
+		w := w
+		th, err := main.CreateThread(fmt.Sprintf("%s-pool-%d", cfg.Name, w), func(t *simos.Thread) {
+			// Build the owned clients: c == w (mod pool), merged by position.
+			var owned []*client
+			for c := w; c < cfg.Clients; c += pool {
+				owned = append(owned, &client{gen: NewClientGen(cfg.Seed, c, cfg.Keys, cfg.Mix)})
+			}
+			// mStart is this worker's measurement-phase start, for progress
+			// events (the assembled result uses the barrier's window).
+			var mStart sim.Time
+			// runOne executes the client's next op, recording its latency
+			// when the measurement window is open.
+			runOne := func(cl *client, record bool) bool {
+				now := t.Now()
+				if cl.due > now {
+					if err := t.Nanosleep(cl.due - now); err != nil {
+						// No signals are used; an interrupt is a bug.
+						t.Failf("workload: %v", err)
+					}
+				}
+				op := cl.gen.Next()
+				if err := applyOp(t, target, op, cfg.Mix.ScanLen, uint64(cl.done)); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return false
+				}
+				end := t.Now()
+				if record {
+					lat := int64((end - cl.due) / sim.Nanosecond)
+					res.Lat.All.Observe(lat)
+					res.Lat.Kind[op.Kind].Observe(lat)
+					perWorker[w][op.Kind]++
+					if lm != nil {
+						lm.allCount.Add(1)
+						lm.allLat.Observe(lat)
+						lm.kindCount[op.Kind].Add(1)
+						lm.kindLat[op.Kind].Observe(lat)
+					}
+					measuredSoFar++
+					if eventEvery > 0 && measuredSoFar%int64(eventEvery) == 0 {
+						publishProgress(cfg, measuredSoFar, totalOps, end-mStart, res.Lat)
+					}
+				}
+				cl.done++
+				if cfg.ArrivalPeriod > 0 {
+					cl.due += cfg.ArrivalPeriod
+				} else {
+					cl.due = end + cfg.ThinkTime
+				}
+				return true
+			}
+			// runPhase serves whichever owned client is due next (ties to
+			// the lowest position), one op per pick, until every one has
+			// done limit ops.
+			runPhase := func(limit int, record bool) bool {
+				start := t.Now()
+				if record {
+					mStart = start
+				}
+				for i, cl := range owned {
+					cl.done = 0
+					if cfg.ArrivalPeriod > 0 {
+						// Phase-stagger the open-loop schedules so arrivals
+						// spread over the period instead of thundering in
+						// herds. The global client index keeps the schedule
+						// independent of the pool size.
+						c := w + i*pool
+						cl.due = start + cfg.ArrivalPeriod*sim.Time(c)/sim.Time(cfg.Clients)
+					} else {
+						cl.due = start
+					}
+				}
+				for {
+					var next *client
+					for _, cl := range owned {
+						if cl.done < limit && (next == nil || cl.due < next.due) {
+							next = cl
+						}
+					}
+					if next == nil {
+						return true
+					}
+					if !runOne(next, record) {
+						return false
+					}
+				}
+			}
+			// Warmup, then rendezvous: the window opens only after every
+			// pool thread has finished warming up.
+			warmOK := runPhase(cfg.WarmupOps, false)
+			bar.Wait(t)
+			if !warmOK {
+				return
+			}
+			runPhase(cfg.MeasureOps, true)
+			if cfg.CloseEpoch != nil {
+				cfg.CloseEpoch(t)
+			}
+		})
+		if err != nil {
+			return ScenarioResult{}, fmt.Errorf("workload: spawning pool thread %d: %w", w, err)
+		}
+		workers = append(workers, th)
+	}
+
+	// Main arrives at the barrier last-ish; the release time — which carries
+	// any delay injected during warmup — opens the window. Flush main's own
+	// pending epoch delay first so it lands before the window, not inside.
+	if cfg.CloseEpoch != nil {
+		cfg.CloseEpoch(main)
+	}
+	bar.Wait(main)
+	winStart = main.Now()
+
+	var end sim.Time
+	for _, th := range workers {
+		main.Join(th)
+		if th.Now() > end {
+			end = th.Now()
+		}
+	}
+	if firstErr != nil {
+		return ScenarioResult{}, firstErr
+	}
+	res.CT = end - winStart
+	for w := range perWorker {
+		for k, n := range perWorker[w] {
+			res.Counts[k] += n
+			res.Ops += n
+		}
+	}
+	if secs := res.CT.Seconds(); secs > 0 {
+		res.OpsPerSec = float64(res.Ops) / secs
+	}
+	publishProgress(cfg, res.Ops, totalOps, res.CT, res.Lat)
+	return res, nil
+}
+
+// applyOp executes one generated operation against the target.
+func applyOp(t *simos.Thread, target Target, op Op, scanLen int, val uint64) error {
+	switch op.Kind {
+	case OpRead:
+		target.Read(t, op.Key)
+		return nil
+	case OpUpdate:
+		return target.Update(t, op.Key, val)
+	default:
+		target.Scan(t, op.Key, scanLen)
+		return nil
+	}
+}
+
+// publishProgress emits one "traffic" event (and refreshes the live traffic
+// gauges) when a recorder is attached.
+func publishProgress(cfg ScenarioConfig, done, total int64, elapsed sim.Time, lat *Latencies) {
+	if cfg.Obs == nil || cfg.EventEvery < 0 {
+		return
+	}
+	opsPerSec := 0.0
+	if secs := elapsed.Seconds(); secs > 0 {
+		opsPerSec = float64(done) / secs
+	}
+	cfg.Obs.TrafficProgress(cfg.Name, cfg.Mix.Name, cfg.Clients, done, total,
+		opsPerSec, lat.All.Quantile(0.99))
+}

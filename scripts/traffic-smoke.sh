@@ -1,0 +1,96 @@
+#!/bin/sh
+# traffic-smoke: end-to-end check of the traffic scenario engine.
+#
+# Runs a seconds-scale traffic-sweep through quartzbench with -serve and a
+# streaming ledger sink, narrowed by the -traffic-* flags to one mix and two
+# client counts. Asserts the rendered SLO report is well formed (every sweep
+# row present, knee/summary notes emitted), probes the live plane with
+# `quartztop -once` (which must show the traffic op counters), and checks the
+# streamed ledger is dense. No fixed ports, no tools beyond the repo's own
+# binaries.
+set -eu
+
+workdir=$(mktemp -d)
+bench_pid=""
+cleanup() {
+    [ -n "$bench_pid" ] && kill "$bench_pid" 2>/dev/null || true
+    [ -n "$bench_pid" ] && wait "$bench_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "traffic-smoke: building quartzbench and quartztop"
+go build -o "$workdir/quartzbench" ./cmd/quartzbench
+go build -o "$workdir/quartztop" ./cmd/quartztop
+
+# A narrowed sweep: one mix, three client counts (quick scale's defaults for
+# latency dimension), kept seconds-scale. -serve-linger keeps the server up
+# after the suite for the probe; SIGINT below cuts it short.
+"$workdir/quartzbench" -exp traffic-sweep -scale quick \
+    -traffic-clients 8,24,64 -traffic-mixes read-mostly \
+    -serve 127.0.0.1:0 -serve-linger 60s \
+    -ledger-out "$workdir/ledger.jsonl" \
+    >"$workdir/stdout.log" 2>"$workdir/stderr.log" &
+bench_pid=$!
+
+addr=""
+for _ in $(seq 1 600); do
+    if grep -q "introspection server lingering" "$workdir/stderr.log" 2>/dev/null; then
+        addr=$(sed -n 's/.*serving introspection on \(http:[^ ]*\).*/\1/p' "$workdir/stderr.log" | head -n 1)
+        break
+    fi
+    if ! kill -0 "$bench_pid" 2>/dev/null; then
+        echo "traffic-smoke: quartzbench exited before lingering" >&2
+        cat "$workdir/stderr.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "traffic-smoke: server never reached the linger phase" >&2
+    cat "$workdir/stderr.log" >&2
+    exit 1
+fi
+
+# The SLO report: one row per (mix, latency, clients) cell and the knee /
+# SLO-breach summary notes under the table.
+for clients in 8 24 64; do
+    if ! grep -q "read-mostly.*[^0-9]$clients " "$workdir/stdout.log"; then
+        echo "traffic-smoke: SLO table missing clients=$clients row" >&2
+        cat "$workdir/stdout.log" >&2
+        exit 1
+    fi
+done
+if ! grep -q "knee" "$workdir/stdout.log"; then
+    echo "traffic-smoke: SLO report has no knee summary" >&2
+    cat "$workdir/stdout.log" >&2
+    exit 1
+fi
+echo "traffic-smoke: SLO report well formed"
+
+echo "traffic-smoke: probing $addr"
+"$workdir/quartztop" -addr "$addr" -once | tee "$workdir/probe.log"
+if ! grep -q "^traffic: " "$workdir/probe.log"; then
+    echo "traffic-smoke: probe output missing traffic summary" >&2
+    exit 1
+fi
+
+# SIGINT ends the linger; quartzbench seals the ledger sink and exits.
+kill -INT "$bench_pid"
+wait "$bench_pid" || {
+    echo "traffic-smoke: quartzbench exited non-zero" >&2
+    cat "$workdir/stderr.log" >&2
+    exit 1
+}
+bench_pid=""
+if ! [ -s "$workdir/ledger.jsonl" ]; then
+    echo "traffic-smoke: ledger sink wrote nothing" >&2
+    exit 1
+fi
+records=$(wc -l < "$workdir/ledger.jsonl")
+if [ "$records" -lt 10 ]; then
+    echo "traffic-smoke: ledger too sparse ($records records)" >&2
+    exit 1
+fi
+echo "traffic-smoke: ledger streamed $records records"
+echo "traffic-smoke: OK"
