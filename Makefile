@@ -5,7 +5,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build vet test bench-quick bench bench-compare bench-smoke serve-smoke traffic-smoke full-results docs-check ci
+.PHONY: all build vet test bench-quick bench bench-alloc bench-compare bench-smoke serve-smoke traffic-smoke full-results docs-check ci
 
 all: vet test
 
@@ -27,7 +27,7 @@ docs-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
-ci: docs-check test bench-smoke serve-smoke traffic-smoke
+ci: docs-check test bench-alloc bench-smoke serve-smoke traffic-smoke
 
 # serve-smoke end-to-end checks the live introspection plane: quartzbench
 # -serve on an ephemeral port with a streaming ledger sink, probed by
@@ -43,18 +43,36 @@ traffic-smoke:
 
 # bench-quick regenerates two representative artifacts on the parallel
 # runner — a fast smoke test of the whole stack — and runs the hot-path
-# micro-benchmarks (cache walk, core load, kernel dispatch).
+# micro-benchmarks (cache walk, core load, kernel dispatch, emulated epoch
+# close, ledger append), which must report 0 allocs/op on steady-state
+# paths; see doc/performance.md.
 bench-quick:
 	$(GO) run ./cmd/quartzbench -exp table2,fig8 -scale quick -parallel 4
 	$(GO) test -bench='BenchmarkCache|BenchmarkPrefetcher' -benchtime=100000x -run=^$$ ./internal/cache
 	$(GO) test -bench='BenchmarkCore' -benchtime=100000x -run=^$$ ./internal/cpu
 	$(GO) test -bench='BenchmarkKernel' -benchtime=100000x -run=^$$ ./internal/sim
+	$(GO) test -bench='BenchmarkEmulated' -benchtime=10000x -run=^$$ ./internal/bench
+	$(GO) test -bench='BenchmarkEpochClosedStreaming' -benchtime=100000x -run=^$$ ./internal/obs
 
-# bench-compare times the quick suite experiment by experiment (min of two
-# passes each), diffs against the committed BENCH artifact, and rewrites it —
-# the perf-trajectory record. Inspect the delta before committing the update.
+# bench-alloc runs the allocation-regression gates: testing.AllocsPerRun
+# asserting zero allocations on the steady-state epoch-close, batched
+# load/store, prefetcher, and ledger-append paths. Runs without -race (the
+# race runtime allocates); `make test` still covers these files race-enabled
+# with the gates skipped.
+bench-alloc:
+	$(GO) test -run 'NoAllocs' -count=1 ./internal/bench ./internal/cache ./internal/obs
+
+# bench-compare times the quick suite experiment by experiment (min of
+# three passes each) with intra-experiment trial parallelism on, diffs
+# against the committed BENCH_7 artifact, and rewrites it — the
+# perf-trajectory record. Fails (after writing, so the numbers survive for
+# inspection) if the quick suite regressed more than 5% against the
+# committed artifact. Wall times on a shared host drift day to day
+# (doc/performance.md shows ~8% across two days on identical code), so
+# treat a small positive delta as noise unless an interleaved A/B confirms
+# it; the committed artifact must come from a same-day baseline run.
 bench-compare:
-	$(GO) run ./cmd/benchcompare -exp fig11,fig12,fig13 -scale quick -runs 2 -baseline BENCH_3.json -o BENCH_3.json
+	$(GO) run ./cmd/benchcompare -exp fig11,fig12,fig13 -scale quick -runs 3 -trial-parallel 4 -baseline BENCH_7.json -o BENCH_7.json -fail-above 5
 
 # bench-smoke exercises the bench-compare flow on one fast experiment
 # without touching the committed artifact (the ci hook).

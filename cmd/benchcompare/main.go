@@ -9,9 +9,15 @@
 // artifact then carries both sides, so a committed BENCH file always shows
 // before and after.
 //
+// -trial-parallel lets each experiment run its independent trials (and
+// paired Conf_1/Conf_2 simulations) concurrently — the knob being measured
+// by the BENCH_7 artifact; tables stay byte-identical. With -fail-above N,
+// the command exits 1 when the total is more than N% slower than the
+// baseline, making it usable as a CI regression gate.
+//
 // Usage:
 //
-//	benchcompare -exp fig11,fig12,fig13 -scale quick -runs 2 -baseline BENCH_3.json -o BENCH_3.json
+//	benchcompare -exp fig11,fig12,fig13 -scale quick -runs 2 -trial-parallel 4 -baseline BENCH_3.json -o BENCH_7.json -fail-above 5
 //	benchcompare -exp table2 -runs 1 -o ""   # print-only smoke run
 package main
 
@@ -62,8 +68,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		expFlag      = fs.String("exp", "fig11,fig12,fig13", "comma-separated experiment ids")
 		scaleFlag    = fs.String("scale", "quick", "sweep scale: quick or full")
 		runsFlag     = fs.Int("runs", 2, "timed passes per experiment (scored by minimum)")
+		trialPar     = fs.Int("trial-parallel", 0, "concurrent trials/variants within one experiment job (0 or 1 = serial)")
 		baselineFlag = fs.String("baseline", "", "previous artifact to diff against")
 		outFlag      = fs.String("o", "BENCH.json", "output artifact path (empty = print only)")
+		failAbove    = fs.Float64("fail-above", 0, "exit 1 if the total delta vs -baseline exceeds this percentage (0 = never fail)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -83,6 +91,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "benchcompare: -runs must be at least 1")
 		return 2
 	}
+	if *trialPar < 0 {
+		fmt.Fprintf(stderr, "benchcompare: -trial-parallel %d: must be >= 0 (0 or 1 = serial)\n", *trialPar)
+		return 2
+	}
+	if *failAbove < 0 {
+		fmt.Fprintf(stderr, "benchcompare: -fail-above %g: must be >= 0 (0 = never fail)\n", *failAbove)
+		return 2
+	}
+	if *failAbove > 0 && *baselineFlag == "" {
+		fmt.Fprintln(stderr, "benchcompare: -fail-above needs -baseline")
+		return 2
+	}
+	scale.TrialParallel = *trialPar
 
 	var ids []string
 	for _, id := range strings.Split(*expFlag, ",") {
@@ -165,6 +186,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *outFlag)
+	}
+	if *failAbove > 0 && baselineTotal > 0 && art.DeltaPct > *failAbove {
+		fmt.Fprintf(stderr, "benchcompare: total regressed %+.1f%% vs baseline (threshold +%g%%)\n",
+			art.DeltaPct, *failAbove)
+		return 1
 	}
 	return 0
 }

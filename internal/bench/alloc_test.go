@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/quartz-emu/quartz/internal/machine"
+	"github.com/quartz-emu/quartz/internal/simos"
+)
+
+// TestEmulatedHotPathNoAllocs is the allocation gate for the emulator's
+// steady-state hot paths, measured end to end inside a live emulated
+// environment: a closed epoch (counter read, Eq. 2/3 delay, amortization,
+// rdtscp spin injection) and the batched access runs must not produce
+// garbage once the simulation has reached steady state. Setup paths (Attach,
+// thread registration, first epochs growing kernel structures) may allocate;
+// the steady state may not — that is what keeps long emulations flat.
+func TestEmulatedHotPathNoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	env, err := NewEnv(EnvConfig{Preset: machine.XeonE5_2450, Mode: Emulated, Quartz: quickQuartz(400)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lines = 1 << 12
+	base, err := env.Proc.MallocOnNode(lines*64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Run(func(e *Env, th *simos.Thread) {
+		// Warm up: fault in kernel/scheduler capacity, arm prefetch streams,
+		// accrue counter state, close a few epochs.
+		for i := 0; i < 8; i++ {
+			th.LoadRun(base, 64, lines)
+			th.StoreRun(base, 64, lines)
+			e.CloseEpoch(th)
+		}
+
+		if allocs := testing.AllocsPerRun(20, func() {
+			th.LoadRun(base, 64, lines)
+		}); allocs != 0 {
+			t.Errorf("steady-state LoadRun: %v allocs/op, want 0", allocs)
+		}
+		if allocs := testing.AllocsPerRun(20, func() {
+			th.StoreRun(base, 64, lines)
+		}); allocs != 0 {
+			t.Errorf("steady-state StoreRun: %v allocs/op, want 0", allocs)
+		}
+		if allocs := testing.AllocsPerRun(50, func() {
+			th.LoadRun(base, 64, 512) // accrue stall cycles so the close injects
+			e.CloseEpoch(th)
+		}); allocs != 0 {
+			t.Errorf("steady-state epoch close: %v allocs/op, want 0", allocs)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkEmulatedEpochClose measures one load batch plus an explicit epoch
+// close under emulation — the per-epoch cost Quartz's lightweight claim
+// rests on. Reported allocs/op must be 0 (TestEmulatedHotPathNoAllocs is
+// the hard gate).
+func BenchmarkEmulatedEpochClose(b *testing.B) {
+	env, err := NewEnv(EnvConfig{Preset: machine.XeonE5_2450, Mode: Emulated, Quartz: quickQuartz(400)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const lines = 1 << 12
+	base, err := env.Proc.MallocOnNode(lines*64, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := env.Run(func(e *Env, th *simos.Thread) {
+		th.LoadRun(base, 64, lines)
+		e.CloseEpoch(th)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			th.LoadRun(base, 64, 512)
+			e.CloseEpoch(th)
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEmulatedLoadRun measures the batched strided-load path under
+// emulation, per line.
+func BenchmarkEmulatedLoadRun(b *testing.B) {
+	env, err := NewEnv(EnvConfig{Preset: machine.XeonE5_2450, Mode: Emulated, Quartz: quickQuartz(400)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const lines = 1 << 12
+	base, err := env.Proc.MallocOnNode(lines*64, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := env.Run(func(e *Env, th *simos.Thread) {
+		th.LoadRun(base, 64, lines)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			th.LoadRun(base, 64, lines)
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}

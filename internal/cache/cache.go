@@ -6,14 +6,27 @@
 // The storage layout is optimized for the simulator's hot path: instead of
 // an array of per-line structs, the cache keeps parallel arrays so that the
 // set walk — the single hottest loop in the whole simulation — scans a
-// compact tag vector (8 bytes per way) rather than 32-byte records. A
-// per-set MRU way hint resolves the common repeat-hit in one probe, and a
-// cache-global last-hit fast path (TouchLast) lets the CPU layer skip the
-// walk entirely for consecutive accesses to the same line. Every fast path
-// performs bit-identical bookkeeping to the plain walk: hit/miss outcomes,
-// LRU clocks, statistics and in-flight arrival accounting are unchanged, so
-// simulated virtual time is unaffected (the determinism gate the
-// equivalence tests pin down).
+// compact one-byte signature vector (a hash of each way's tag, with 0
+// reserved for invalid ways) and touches the full 8-byte tag only to verify
+// a signature match. A large modeled L3 keeps its whole signature vector
+// host-cache resident where the tag vector would not be, so a set probe
+// that misses costs one host cache line instead of several; false signature
+// matches (~ways/255 per probe) are filtered by the exact tag compare, so
+// outcomes never depend on the hash. The full tag and the in-flight arrival
+// time live in one 16-byte record so a hit verifies and reads one metadata
+// line, while the LRU clocks stay in their own packed vector so the
+// eviction min-scan streams 8-byte values.
+// A per-set MRU way hint resolves the common repeat-hit in one probe,
+// and a cache-global last-hit fast path (TouchLast) lets the CPU layer skip
+// the walk entirely for consecutive accesses to the same line. Every fast
+// path performs bit-identical bookkeeping to the plain walk: hit/miss
+// outcomes, LRU clocks, statistics and in-flight arrival accounting are
+// unchanged, so simulated virtual time is unaffected (the determinism gate
+// the equivalence tests pin down).
+//
+// No-allocation contract: after New, the steady-state operations — Lookup,
+// TouchLast, Insert, Flush, Contains and the prefetcher's Observe — never
+// allocate. `make bench-alloc` gates this with testing.AllocsPerRun.
 package cache
 
 import (
@@ -65,18 +78,30 @@ type Eviction struct {
 	Dirty bool
 }
 
+// wayMeta pairs the per-way fill arrival time with the stored tag (tag+1,
+// meaningful only while the way's signature is nonzero). A hit verifies the
+// tag and reads the arrival from one 16-byte record — a single metadata
+// line — and an eviction reconstructs the victim's address from the same
+// line the insert is about to overwrite. The LRU clock stays in its own
+// packed vector so the eviction min-scan streams 8-byte values.
+type wayMeta struct {
+	arrival sim.Time
+	tag     uintptr
+}
+
 // Cache is one set-associative write-back cache level.
 //
-// Line state is held in parallel arrays indexed by set*ways+way. tags holds
-// tag+1 so that zero means "invalid way" — one comparison covers both the
-// validity and the tag check during the walk.
+// Line state is held in parallel arrays indexed by set*ways+way. meta holds
+// each way's tag as tag+1 so that zero means "invalid way"; sigs holds a
+// one-byte hash of that value (0 = invalid way), the vector the set walk
+// actually scans. A way is valid iff its signature is nonzero.
 type Cache struct {
 	cfg     Config
-	tags    []uintptr  // tag+1 per way; 0 = invalid
-	dirty   []bool     // per way
-	lastUse []uint64   // per way; LRU clock value of the last touch
-	arrival []sim.Time // per way; fill arrival time
-	mru     []int32    // per set; way of the most recent hit/insert
+	sigs    []uint8   // signature of meta[i].tag per way; 0 = invalid
+	meta    []wayMeta // per way; fill arrival + tag
+	lastUse []uint64  // per way; LRU clock value of the last touch
+	dirty   []bool    // per way
+	mru     []int32   // per set; way of the most recent hit/insert
 
 	numSets   int
 	ways      int
@@ -93,6 +118,18 @@ type Cache struct {
 	stats  Stats
 }
 
+// sigOf hashes a stored tag value (tag+1, never zero) to its one-byte walk
+// signature. Zero is reserved for invalid ways, so a valid signature is
+// remapped away from it; any deterministic mixing works — a false match
+// only costs one exact tag compare.
+func sigOf(want uintptr) uint8 {
+	s := uint8(want ^ want>>13 ^ want>>27)
+	if s == 0 {
+		return 0xa5
+	}
+	return s
+}
+
 // New builds a cache from cfg.
 func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
@@ -106,10 +143,10 @@ func New(cfg Config) (*Cache, error) {
 	}
 	c := &Cache{
 		cfg:     cfg,
-		tags:    make([]uintptr, lines),
-		dirty:   make([]bool, lines),
+		sigs:    make([]uint8, lines),
+		meta:    make([]wayMeta, lines),
 		lastUse: make([]uint64, lines),
-		arrival: make([]sim.Time, lines),
+		dirty:   make([]bool, lines),
 		mru:     make([]int32, numSets),
 		numSets: numSets,
 		ways:    cfg.Ways,
@@ -169,7 +206,7 @@ func (c *Cache) hitAt(idx int, tag uintptr, now sim.Time, markDirty bool) (wait 
 	c.stats.Hits++
 	c.lastIdx = idx
 	c.lastTag = tag
-	if a := c.arrival[idx]; a > now {
+	if a := c.meta[idx].arrival; a > now {
 		return a - now
 	}
 	return 0
@@ -183,13 +220,14 @@ func (c *Cache) Lookup(addr uintptr, now sim.Time, markDirty bool) (hit bool, wa
 	set := c.setOf(tag)
 	base := set * c.ways
 	want := tag + 1
+	sig := sigOf(want)
 	// MRU probe: the way that hit last time in this set.
-	if m := base + int(c.mru[set]); c.tags[m] == want {
+	if m := base + int(c.mru[set]); c.sigs[m] == sig && c.meta[m].tag == want {
 		wait = c.hitAt(m, tag, now, markDirty)
 		return true, wait
 	}
-	for i, t := range c.tags[base : base+c.ways] {
-		if t == want {
+	for i, s := range c.sigs[base : base+c.ways] {
+		if s == sig && c.meta[base+i].tag == want {
 			idx := base + i
 			c.mru[set] = int32(i)
 			wait = c.hitAt(idx, tag, now, markDirty)
@@ -207,7 +245,7 @@ func (c *Cache) Lookup(addr uintptr, now sim.Time, markDirty bool) (hit bool, wa
 func (c *Cache) TouchLast(addr uintptr, now sim.Time, markDirty bool) (wait sim.Time, ok bool) {
 	tag := c.tagOf(addr)
 	idx := c.lastIdx
-	if idx < 0 || c.tags[idx] != tag+1 {
+	if idx < 0 || c.meta[idx].tag != tag+1 {
 		return 0, false
 	}
 	return c.hitAt(idx, tag, now, markDirty), true
@@ -220,11 +258,12 @@ func (c *Cache) Contains(addr uintptr) bool {
 	set := c.setOf(tag)
 	base := set * c.ways
 	want := tag + 1
-	if c.tags[base+int(c.mru[set])] == want {
+	sig := sigOf(want)
+	if m := base + int(c.mru[set]); c.sigs[m] == sig && c.meta[m].tag == want {
 		return true
 	}
-	for _, t := range c.tags[base : base+c.ways] {
-		if t == want {
+	for i, s := range c.sigs[base : base+c.ways] {
+		if s == sig && c.meta[base+i].tag == want {
 			return true
 		}
 	}
@@ -240,30 +279,31 @@ func (c *Cache) Insert(addr uintptr, dirty bool, arrival sim.Time) (ev Eviction,
 	set := c.setOf(tag)
 	base := set * c.ways
 	want := tag + 1
-	// First pass touches only the tag vector: it finds a matching way
-	// (already present) or the first invalid way. The LRU min-scan over
-	// lastUse runs separately and only when the set is full — the same
-	// victim the reference single-pass walk selected (first invalid way,
-	// else strict minimum lastUse with earliest-index tiebreak), but the
-	// common steady-state insert streams through two compact vectors
+	sig := sigOf(want)
+	// First pass touches only the signature vector: it finds a matching way
+	// (already present) or the first invalid way. The LRU min-scan over the
+	// metadata records runs separately and only when the set is full — the
+	// same victim the reference single-pass walk selected (first invalid
+	// way, else strict minimum lastUse with earliest-index tiebreak), but
+	// the common steady-state insert streams through two compact vectors
 	// instead of interleaving loads and data-dependent branches.
 	firstInvalid := -1
-	for i, t := range c.tags[base : base+c.ways] {
-		if t == want {
+	for i, s := range c.sigs[base : base+c.ways] {
+		if s == sig && c.meta[base+i].tag == want {
 			// Already present (e.g. racing prefetch): refresh.
 			idx := base + i
 			c.useClk++
 			c.lastUse[idx] = c.useClk
 			c.dirty[idx] = c.dirty[idx] || dirty
-			if arrival < c.arrival[idx] {
-				c.arrival[idx] = arrival
+			if arrival < c.meta[idx].arrival {
+				c.meta[idx].arrival = arrival
 			}
 			c.mru[set] = int32(i)
 			c.lastIdx = idx
 			c.lastTag = tag
 			return Eviction{}, false
 		}
-		if t == 0 && firstInvalid == -1 {
+		if s == 0 && firstInvalid == -1 {
 			firstInvalid = base + i
 		}
 	}
@@ -279,22 +319,22 @@ func (c *Cache) Insert(addr uintptr, dirty bool, arrival sim.Time) (ev Eviction,
 			}
 		}
 	}
-	if c.tags[victim] != 0 {
+	if c.sigs[victim] != 0 {
 		c.stats.Evictions++
 		if c.dirty[victim] {
 			c.stats.DirtyEvictions++
 		}
-		ev = Eviction{Addr: (c.tags[victim] - 1) * uintptr(c.cfg.LineSize), Dirty: c.dirty[victim]}
+		ev = Eviction{Addr: (c.meta[victim].tag - 1) * uintptr(c.cfg.LineSize), Dirty: c.dirty[victim]}
 		evicted = true
 		if c.lastIdx == victim {
 			c.lastIdx = -1
 		}
 	}
 	c.useClk++
-	c.tags[victim] = want
+	c.sigs[victim] = sig
 	c.dirty[victim] = dirty
 	c.lastUse[victim] = c.useClk
-	c.arrival[victim] = arrival
+	c.meta[victim] = wayMeta{arrival: arrival, tag: want}
 	c.mru[set] = int32(victim - base)
 	c.lastIdx = victim
 	c.lastTag = tag
@@ -308,15 +348,16 @@ func (c *Cache) Flush(addr uintptr) (present, dirty bool) {
 	tag := c.tagOf(addr)
 	base := c.setOf(tag) * c.ways
 	want := tag + 1
-	for i, t := range c.tags[base : base+c.ways] {
-		if t == want {
+	sig := sigOf(want)
+	for i, s := range c.sigs[base : base+c.ways] {
+		if s == sig && c.meta[base+i].tag == want {
 			idx := base + i
 			c.stats.Flushes++
 			present, dirty = true, c.dirty[idx]
-			c.tags[idx] = 0
+			c.sigs[idx] = 0
 			c.dirty[idx] = false
 			c.lastUse[idx] = 0
-			c.arrival[idx] = 0
+			c.meta[idx] = wayMeta{}
 			if c.lastIdx == idx {
 				c.lastIdx = -1
 			}
@@ -331,14 +372,14 @@ func (c *Cache) Flush(addr uintptr) (present, dirty bool) {
 // between experiment trials.
 func (c *Cache) InvalidateAll() []uintptr {
 	var dirtyAddrs []uintptr
-	for i, t := range c.tags {
-		if t != 0 && c.dirty[i] {
-			dirtyAddrs = append(dirtyAddrs, (t-1)*uintptr(c.cfg.LineSize))
+	for i, s := range c.sigs {
+		if s != 0 && c.dirty[i] {
+			dirtyAddrs = append(dirtyAddrs, (c.meta[i].tag-1)*uintptr(c.cfg.LineSize))
 		}
-		c.tags[i] = 0
+		c.sigs[i] = 0
 		c.dirty[i] = false
 		c.lastUse[i] = 0
-		c.arrival[i] = 0
+		c.meta[i] = wayMeta{}
 	}
 	for i := range c.mru {
 		c.mru[i] = 0

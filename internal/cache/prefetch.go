@@ -34,6 +34,10 @@ type Prefetcher struct {
 	prev, next       [maxStreams]int8
 	lruHead, lruTail int8
 	nValid           int8
+
+	// scratch backs the slice Observe returns, sized to depth once at
+	// construction so proposing lines never allocates on the access path.
+	scratch []uintptr
 }
 
 // prefetchConfidence is how many consecutive unit-stride hits arm a stream.
@@ -45,7 +49,11 @@ const maxStreams = 16
 // NewPrefetcher builds a stream prefetcher that runs depth lines ahead of a
 // detected stream. A depth of zero disables prefetching.
 func NewPrefetcher(depth int) *Prefetcher {
-	return &Prefetcher{depth: depth, lruHead: -1, lruTail: -1}
+	p := &Prefetcher{depth: depth, lruHead: -1, lruTail: -1}
+	if depth > 0 {
+		p.scratch = make([]uintptr, 0, depth)
+	}
+	return p
 }
 
 // Depth reports the configured prefetch distance in lines.
@@ -82,7 +90,10 @@ func (p *Prefetcher) enlist(i int) {
 }
 
 // Observe records a demand access to the given line address and returns the
-// line addresses that should be prefetched (possibly none).
+// line addresses that should be prefetched (possibly none). The returned
+// slice aliases an internal scratch buffer and is valid only until the next
+// Observe call — the core consumes it immediately, keeping the access path
+// allocation-free.
 //
 // The reference logic is three sequential scans over the stream table:
 // continuations (and repeats) first, then embryonic-stream pairing, then
@@ -155,9 +166,11 @@ func (p *Prefetcher) Observe(lineAddr uintptr) []uintptr {
 }
 
 // propose returns the lines between stream i's prefetch frontier and
-// lineAddr+depth (in stream direction), advancing the frontier.
+// lineAddr+depth (in stream direction), advancing the frontier. The result
+// reuses p.scratch (at most depth lines fit between frontier and target, so
+// the buffer never grows past its construction-time capacity).
 func (p *Prefetcher) propose(i int, lineAddr uintptr) []uintptr {
-	var out []uintptr
+	out := p.scratch[:0]
 	if p.dir[i] > 0 {
 		target := lineAddr + uintptr(p.depth)
 		start := lineAddr + 1

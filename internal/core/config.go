@@ -5,6 +5,16 @@
 // at maximum-epoch boundaries with POSIX signals, interposes on lock
 // releases to propagate delays at inter-thread communication points, and
 // injects model-derived delays by spinning on the timestamp counter.
+//
+// Epoch model: an epoch is the unit of delay accounting — it opens when the
+// previous one closes, accumulates PMC deltas, and closes at a monitor
+// signal, a sync-point hook, or an explicit request (no earlier than the
+// minimum epoch, no later than the maximum). Closing an epoch reads the
+// counters, evaluates Eq. 3 then Eq. 2, amortizes accumulated overhead and
+// spins the thread forward. This close path is steady-state: it performs no
+// heap allocations (fixed-cost terms are precomputed at attach time, and
+// diagnostic formatting is gated behind Tracing()), a contract pinned by
+// the allocation gates run via `make bench-alloc` — see doc/performance.md.
 package core
 
 import (

@@ -68,6 +68,11 @@ type Emulator struct {
 	params   modelParams
 	nvmNode  int
 	writeLat sim.Time
+	// epochCostCycles is the fixed per-close processing cost (counter reads
+	// plus epoch logic), hoisted out of endEpoch at Attach time: the event
+	// set, counter mode and logic cost are all fixed for the emulator's
+	// lifetime, so the hot path must not rebuild them per epoch.
+	epochCostCycles int64
 
 	threads  []*threadState
 	byThread map[*simos.Thread]*threadState
@@ -199,6 +204,8 @@ func Attach(proc *simos.Process, cfg Config) (*Emulator, error) {
 		},
 		nvmNode:  nvmNode,
 		writeLat: writeLat,
+		epochCostCycles: perf.ReadCostCycles(cfg.CounterMode, len(perf.EventsFor(mach.Family()))) +
+			cfg.EpochLogicCycles,
 		byThread: make(map[*simos.Thread]*threadState),
 	}
 
@@ -394,8 +401,7 @@ func (e *Emulator) endEpoch(ts *threadState, reason epochReason) {
 
 	epochLen := t.Now() - ts.epochStart
 
-	nEvents := len(perf.EventsFor(e.mach.Family()))
-	costCycles := perf.ReadCostCycles(e.cfg.CounterMode, nEvents) + e.cfg.EpochLogicCycles
+	costCycles := e.epochCostCycles
 	t.Compute(costCycles)
 	overhead := t.Core().TimeForCycles(costCycles)
 
@@ -445,7 +451,9 @@ func (e *Emulator) endEpoch(ts *threadState, reason epochReason) {
 		}
 	}
 
-	t.Trace(trace.KindEpoch, fmt.Sprintf("len=%v delay=%v reason=%d", epochLen, delay, int(reason)))
+	if t.Tracing() {
+		t.Trace(trace.KindEpoch, fmt.Sprintf("len=%v delay=%v reason=%d", epochLen, delay, int(reason)))
+	}
 
 	if e.rec != nil {
 		epochEnd := ts.epochStart + epochLen
@@ -478,7 +486,9 @@ func (e *Emulator) endEpoch(ts *threadState, reason epochReason) {
 // inject spins for d of virtual time using the rdtscp spin loop.
 func (e *Emulator) inject(ts *threadState, d sim.Time) {
 	t := ts.t
-	t.Trace(trace.KindInject, d.String())
+	if t.Tracing() {
+		t.Trace(trace.KindInject, d.String())
+	}
 	target := t.Core().TSC(t.Now()) + uint64(sim.TimeToCycles(d, t.Core().FreqHz()))
 	t.SpinUntilTSC(target, e.cfg.SpinPollCycles)
 	ts.injected += d

@@ -26,10 +26,6 @@ func modelAblationJobs(s Scale) JobSet {
 				mlCfg := bench.MemLatConfig{
 					Lines: s.Lines / 2, Chains: chains, Iters: s.MemLatIters, Seed: 21,
 				}
-				phys, err := runMemLat(bench.EnvConfig{Preset: machine.XeonE5_2660v2, Mode: bench.PhysicalRemote}, mlCfg)
-				if err != nil {
-					return nil, err
-				}
 				runModel := func(m core.Model) (sim.Time, error) {
 					q := quartzConfig(bench.RemoteLatNS(machine.XeonE5_2660v2))
 					q.Model = m
@@ -38,18 +34,33 @@ func modelAblationJobs(s Scale) JobSet {
 					}, mlCfg)
 					return res.CT, err
 				}
-				eq2, err := runModel(core.ModelStall)
-				if err != nil {
-					return nil, err
-				}
-				eq1, err := runModel(core.ModelSimple)
+				// The physical reference and the two model variants are three
+				// independent simulations — parallel units under
+				// -trial-parallel.
+				var cts [3]sim.Time
+				err := runUnits(s, 3, func(u int) error {
+					switch u {
+					case 0:
+						phys, err := runMemLat(bench.EnvConfig{Preset: machine.XeonE5_2660v2, Mode: bench.PhysicalRemote}, mlCfg)
+						cts[0] = phys.CT
+						return err
+					case 1:
+						eq2, err := runModel(core.ModelStall)
+						cts[1] = eq2
+						return err
+					default:
+						eq1, err := runModel(core.ModelSimple)
+						cts[2] = eq1
+						return err
+					}
+				})
 				if err != nil {
 					return nil, err
 				}
 				return Metrics{
-					"phys_ct_ns": phys.CT.Nanoseconds(),
-					"eq2_ct_ns":  eq2.Nanoseconds(),
-					"eq1_ct_ns":  eq1.Nanoseconds(),
+					"phys_ct_ns": cts[0].Nanoseconds(),
+					"eq2_ct_ns":  cts[1].Nanoseconds(),
+					"eq1_ct_ns":  cts[2].Nanoseconds(),
 				}, nil
 			},
 		})
@@ -130,17 +141,20 @@ func pcommitAblationJobs(s Scale) JobSet {
 					})
 					return ct, err
 				}
-				serialized, err := run(false)
-				if err != nil {
-					return nil, err
-				}
-				parallel, err := run(true)
+				// The serialized and pcommit variants are independent
+				// simulations — parallel units under -trial-parallel.
+				var cts [2]sim.Time
+				err := runUnits(s, 2, func(u int) error {
+					ct, err := run(u == 1)
+					cts[u] = ct
+					return err
+				})
 				if err != nil {
 					return nil, err
 				}
 				return Metrics{
-					"pflush_ct_ns":  serialized.Nanoseconds(),
-					"pcommit_ct_ns": parallel.Nanoseconds(),
+					"pflush_ct_ns":  cts[0].Nanoseconds(),
+					"pcommit_ct_ns": cts[1].Nanoseconds(),
 				}, nil
 			},
 		})
@@ -191,17 +205,21 @@ func amortizationAblationJobs(s Scale) JobSet {
 				q := quartzConfig(amortizationTarget)
 				q.DisableAmortization = disabled
 				q.MaxEpoch = 500 * sim.Microsecond // frequent epochs make overhead visible
-				var lats []sim.Time
-				for trial := 0; trial < s.Trials; trial++ {
+				lats := make([]sim.Time, s.Trials)
+				err := runUnits(s, s.Trials, func(trial int) error {
 					res, err := runMemLat(bench.EnvConfig{
 						Preset: machine.XeonE5_2660v2, Mode: bench.Emulated, Quartz: q,
 					}, bench.MemLatConfig{
 						Lines: s.Lines, Chains: 1, Iters: s.MemLatIters, Seed: int64(trial + 31),
 					})
 					if err != nil {
-						return nil, trialErr("amortization", trial, err)
+						return trialErr("amortization", trial, err)
 					}
-					lats = append(lats, res.PerIteration)
+					lats[trial] = res.PerIteration
+					return nil
+				})
+				if err != nil {
+					return nil, err
 				}
 				return Metrics{"mean_ns": stats.Summarize(nanos(lats)).Mean}, nil
 			},

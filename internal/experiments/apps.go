@@ -67,14 +67,28 @@ func fig15Jobs(s Scale) JobSet {
 				Params: map[string]string{"threads": strconv.Itoa(threads), "trial": strconv.Itoa(trial)},
 				Run: func() (Metrics, error) {
 					seed := uint64(trial*101 + threads)
-					phys, err := kvRun(s, preset, bench.PhysicalRemote, core.Config{}, threads, seed)
+					// The Conf_2 and Conf_1 runs are independent simulations
+					// — parallel units under -trial-parallel.
+					var phys, emu kvstore.WorkloadResult
+					err := runUnits(s, 2, func(u int) error {
+						if u == 0 {
+							p, err := kvRun(s, preset, bench.PhysicalRemote, core.Config{}, threads, seed)
+							if err != nil {
+								return trialErr("fig15 physical", trial, err)
+							}
+							phys = p
+							return nil
+						}
+						e, err := kvRun(s, preset, bench.Emulated,
+							quartzConfig(bench.RemoteLatNS(preset)), threads, seed)
+						if err != nil {
+							return trialErr("fig15 emulated", trial, err)
+						}
+						emu = e
+						return nil
+					})
 					if err != nil {
-						return nil, trialErr("fig15 physical", trial, err)
-					}
-					emu, err := kvRun(s, preset, bench.Emulated,
-						quartzConfig(bench.RemoteLatNS(preset)), threads, seed)
-					if err != nil {
-						return nil, trialErr("fig15 emulated", trial, err)
+						return nil, err
 					}
 					return Metrics{
 						"put_err": stats.RelErr(emu.PutsPerS, phys.PutsPerS),
@@ -160,13 +174,27 @@ func pageRankValidationJobs(s Scale) JobSet {
 			Params: map[string]string{"trial": strconv.Itoa(trial)},
 			Run: func() (Metrics, error) {
 				seed := uint64(trial + 5)
-				phys, err := prRun(s, bench.PhysicalRemote, core.Config{}, seed)
+				// The Conf_2 and Conf_1 runs are independent simulations —
+				// parallel units under -trial-parallel.
+				var phys, emu pagerank.Result
+				err := runUnits(s, 2, func(u int) error {
+					if u == 0 {
+						p, err := prRun(s, bench.PhysicalRemote, core.Config{}, seed)
+						if err != nil {
+							return trialErr("pagerank physical", trial, err)
+						}
+						phys = p
+						return nil
+					}
+					e, err := prRun(s, bench.Emulated, quartzConfig(bench.RemoteLatNS(machine.XeonE5_2450)), seed)
+					if err != nil {
+						return trialErr("pagerank emulated", trial, err)
+					}
+					emu = e
+					return nil
+				})
 				if err != nil {
-					return nil, trialErr("pagerank physical", trial, err)
-				}
-				emu, err := prRun(s, bench.Emulated, quartzConfig(bench.RemoteLatNS(machine.XeonE5_2450)), seed)
-				if err != nil {
-					return nil, trialErr("pagerank emulated", trial, err)
+					return nil, err
 				}
 				return Metrics{
 					"phys_ct_ns": phys.CT.Nanoseconds(),

@@ -54,6 +54,15 @@ type Scale struct {
 	// Sparse trims sweep grids (fewer latency points / patterns) for
 	// quick runs; Full uses the paper's complete grids.
 	Sparse bool
+	// TrialParallel bounds the goroutines one job may use to run its
+	// independent units — repeated trials, or the paired/variant simulations
+	// of one sweep point (Conf_1 vs Conf_2, model variants) — concurrently.
+	// Each unit builds its own machine and seeds its own simulation, and
+	// results land in position-indexed slots, so tables are byte-identical
+	// for any value. 0 or 1 runs units serially (the default); quartzbench
+	// exposes it as -trial-parallel. It composes multiplicatively with the
+	// runner's -parallel worker count — see doc/parallelism.md.
+	TrialParallel int
 }
 
 // Quick is the test/CI scale.

@@ -56,13 +56,27 @@ func graph500ValidationJobs(s Scale) JobSet {
 			Params: map[string]string{"trial": strconv.Itoa(trial)},
 			Run: func() (Metrics, error) {
 				seed := uint64(trial + 11)
-				phys, err := graph500Run(s, bench.PhysicalRemote, core.Config{}, seed)
+				// The Conf_2 and Conf_1 runs are independent simulations —
+				// parallel units under -trial-parallel.
+				var phys, emu graph500.Result
+				err := runUnits(s, 2, func(u int) error {
+					if u == 0 {
+						p, err := graph500Run(s, bench.PhysicalRemote, core.Config{}, seed)
+						if err != nil {
+							return trialErr("graph500 physical", trial, err)
+						}
+						phys = p
+						return nil
+					}
+					e, err := graph500Run(s, bench.Emulated, quartzConfig(bench.RemoteLatNS(machine.XeonE5_2660v2)), seed)
+					if err != nil {
+						return trialErr("graph500 emulated", trial, err)
+					}
+					emu = e
+					return nil
+				})
 				if err != nil {
-					return nil, trialErr("graph500 physical", trial, err)
-				}
-				emu, err := graph500Run(s, bench.Emulated, quartzConfig(bench.RemoteLatNS(machine.XeonE5_2660v2)), seed)
-				if err != nil {
-					return nil, trialErr("graph500 emulated", trial, err)
+					return nil, err
 				}
 				return Metrics{
 					"phys_ct_ns": phys.CT.Nanoseconds(),

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/quartz-emu/quartz/internal/bench"
 	"github.com/quartz-emu/quartz/internal/core"
@@ -109,4 +111,53 @@ func nanos(ts []sim.Time) []float64 {
 // trialErr wraps an experiment trial failure with context.
 func trialErr(what string, trial int, err error) error {
 	return fmt.Errorf("experiments: %s trial %d: %w", what, trial, err)
+}
+
+// runUnits executes body(0..n-1) — a job's independent units: repeated
+// trials, or the paired/variant simulations of one sweep point — honoring
+// s.TrialParallel. Each unit must build its own environment, seed its own
+// simulation, and write results only to its own position-indexed slots;
+// under those rules (which every experiment's trial loop already followed)
+// execution order cannot affect the assembled table, because assembly reads
+// the slots in index order and floating-point reduction order is fixed.
+//
+// Serial execution (TrialParallel <= 1) runs in the calling goroutine with
+// no synchronization. Parallel execution reports the lowest-index error,
+// matching what the serial loop would have returned.
+func runUnits(s Scale, n int, body func(unit int) error) error {
+	par := s.TrialParallel
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for u := 0; u < n; u++ {
+			if err := body(u); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for g := 0; g < par; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				u := int(next.Add(1)) - 1
+				if u >= n {
+					return
+				}
+				errs[u] = body(u)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

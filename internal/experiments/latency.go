@@ -25,25 +25,39 @@ func fig11Jobs(s Scale) JobSet {
 				Name:   fmt.Sprintf("%s/chains=%d", pr.label, chains),
 				Params: map[string]string{"family": pr.label, "chains": strconv.Itoa(chains)},
 				Run: func() (Metrics, error) {
-					var phys, emu []sim.Time
-					for trial := 0; trial < s.Trials; trial++ {
+					// Each trial's Conf_2 and Conf_1 runs are independent
+					// simulations, so they form 2*Trials parallel units:
+					// unit u is trial u/2, physical on even u, emulated on
+					// odd. Results land positionally, keeping the mean's
+					// summation order fixed.
+					phys := make([]sim.Time, s.Trials)
+					emu := make([]sim.Time, s.Trials)
+					err := runUnits(s, 2*s.Trials, func(u int) error {
+						trial := u / 2
 						mlCfg := bench.MemLatConfig{
 							Lines: s.Lines / 2, Chains: chains, Iters: s.MemLatIters,
 							Seed: int64(trial*31 + chains),
 						}
-						p, err := runMemLat(bench.EnvConfig{Preset: pr.preset, Mode: bench.PhysicalRemote}, mlCfg)
-						if err != nil {
-							return nil, trialErr("fig11 physical", trial, err)
+						if u%2 == 0 {
+							p, err := runMemLat(bench.EnvConfig{Preset: pr.preset, Mode: bench.PhysicalRemote}, mlCfg)
+							if err != nil {
+								return trialErr("fig11 physical", trial, err)
+							}
+							phys[trial] = p.CT
+							return nil
 						}
 						e, err := runMemLat(bench.EnvConfig{
 							Preset: pr.preset, Mode: bench.Emulated,
 							Quartz: quartzConfig(bench.RemoteLatNS(pr.preset)),
 						}, mlCfg)
 						if err != nil {
-							return nil, trialErr("fig11 emulated", trial, err)
+							return trialErr("fig11 emulated", trial, err)
 						}
-						phys = append(phys, p.CT)
-						emu = append(emu, e.CT)
+						emu[trial] = e.CT
+						return nil
+					})
+					if err != nil {
+						return nil, err
 					}
 					return Metrics{
 						"phys_ct_ns": stats.Summarize(nanos(phys)).Mean,
@@ -97,8 +111,8 @@ func fig12Jobs(s Scale) JobSet {
 				Name:   fmt.Sprintf("%s/target=%.0f", pr.label, target),
 				Params: map[string]string{"family": pr.label, "target_ns": fmt.Sprintf("%.0f", target)},
 				Run: func() (Metrics, error) {
-					var lats []sim.Time
-					for trial := 0; trial < s.Trials; trial++ {
+					lats := make([]sim.Time, s.Trials)
+					err := runUnits(s, s.Trials, func(trial int) error {
 						res, err := runMemLat(bench.EnvConfig{
 							Preset: pr.preset, Mode: bench.Emulated,
 							Quartz: quartzConfig(target),
@@ -107,9 +121,13 @@ func fig12Jobs(s Scale) JobSet {
 							Seed: int64(trial*13 + int(target)),
 						})
 						if err != nil {
-							return nil, trialErr("fig12", trial, err)
+							return trialErr("fig12", trial, err)
 						}
-						lats = append(lats, res.PerIteration)
+						lats[trial] = res.PerIteration
+						return nil
+					})
+					if err != nil {
+						return nil, err
 					}
 					sum := stats.Summarize(nanos(lats))
 					return Metrics{"mean_ns": sum.Mean, "min_ns": sum.Min, "max_ns": sum.Max}, nil
@@ -204,14 +222,14 @@ func fig13Jobs(s Scale) JobSet {
 							"threads": strconv.Itoa(threads), "setting": st.name,
 						},
 						Run: func() (Metrics, error) {
-							var cts []sim.Time
-							for trial := 0; trial < s.Trials; trial++ {
+							cts := make([]sim.Time, s.Trials)
+							err := runUnits(s, s.Trials, func(trial int) error {
 								env, err := bench.NewEnv(bench.EnvConfig{
 									Preset: pr.preset, Mode: mode, Quartz: q,
 									Lookahead: 2 * sim.Microsecond,
 								})
 								if err != nil {
-									return nil, trialErr("fig13", trial, err)
+									return trialErr("fig13", trial, err)
 								}
 								cfg := mtCfg
 								cfg.Node = env.AllocNode()
@@ -224,9 +242,13 @@ func fig13Jobs(s Scale) JobSet {
 										th.Failf("%v", rerr)
 									}
 								}); err != nil {
-									return nil, trialErr("fig13", trial, err)
+									return trialErr("fig13", trial, err)
 								}
-								cts = append(cts, res.CT)
+								cts[trial] = res.CT
+								return nil
+							})
+							if err != nil {
+								return nil, err
 							}
 							return Metrics{"ct_ns": stats.Summarize(nanos(cts)).Mean}, nil
 						},

@@ -36,17 +36,21 @@ func overheadJobs(s Scale) JobSet {
 			Name:   m.name,
 			Params: map[string]string{"mode": m.name},
 			Run: func() (Metrics, error) {
-				var cts []sim.Time
-				for trial := 0; trial < s.Trials; trial++ {
+				cts := make([]sim.Time, s.Trials)
+				err := runUnits(s, s.Trials, func(trial int) error {
 					res, err := runMemLat(bench.EnvConfig{
 						Preset: machine.XeonE5_2660v2, Mode: m.mode, Quartz: q,
 					}, bench.MemLatConfig{
 						Lines: s.Lines, Chains: 1, Iters: s.MemLatIters, Seed: int64(trial + 9),
 					})
 					if err != nil {
-						return nil, trialErr("overhead", trial, err)
+						return trialErr("overhead", trial, err)
 					}
-					cts = append(cts, res.CT)
+					cts[trial] = res.CT
+					return nil
+				})
+				if err != nil {
+					return nil, err
 				}
 				return Metrics{"ct_ns": stats.Summarize(nanos(cts)).Mean}, nil
 			},
@@ -97,8 +101,8 @@ func epochSizeJobs(s Scale) JobSet {
 			Name:   "max-epoch=" + maxEpoch.String(),
 			Params: map[string]string{"max_epoch": maxEpoch.String()},
 			Run: func() (Metrics, error) {
-				var lats []sim.Time
-				for trial := 0; trial < s.Trials; trial++ {
+				lats := make([]sim.Time, s.Trials)
+				err := runUnits(s, s.Trials, func(trial int) error {
 					q := quartzConfig(epochSizeTarget)
 					q.MaxEpoch = maxEpoch
 					q.MonitorInterval = maxEpoch / 2
@@ -108,9 +112,13 @@ func epochSizeJobs(s Scale) JobSet {
 						Lines: s.Lines, Chains: 1, Iters: s.MemLatIters, Seed: int64(trial + 3),
 					})
 					if err != nil {
-						return nil, trialErr("epoch-size", trial, err)
+						return trialErr("epoch-size", trial, err)
 					}
-					lats = append(lats, res.PerIteration)
+					lats[trial] = res.PerIteration
+					return nil
+				})
+				if err != nil {
+					return nil, err
 				}
 				return Metrics{"mean_ns": stats.Summarize(nanos(lats)).Mean}, nil
 			},

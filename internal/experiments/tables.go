@@ -58,16 +58,20 @@ func table2Jobs(s Scale) JobSet {
 				Name:   pr.label + "/" + m.name,
 				Params: map[string]string{"family": pr.label, "mode": m.name},
 				Run: func() (Metrics, error) {
-					var lats []sim.Time
-					for trial := 0; trial < s.Trials; trial++ {
+					lats := make([]sim.Time, s.Trials)
+					err := runUnits(s, s.Trials, func(trial int) error {
 						res, err := runMemLat(
 							bench.EnvConfig{Preset: pr.preset, Mode: m.mode},
 							bench.MemLatConfig{Lines: s.Lines, Chains: 1, Iters: s.MemLatIters, Seed: int64(100 + trial)},
 						)
 						if err != nil {
-							return nil, trialErr("table2", trial, err)
+							return trialErr("table2", trial, err)
 						}
-						lats = append(lats, res.PerIteration)
+						lats[trial] = res.PerIteration
+						return nil
+					})
+					if err != nil {
+						return nil, err
 					}
 					sum := stats.Summarize(nanos(lats))
 					return Metrics{"min_ns": sum.Min, "mean_ns": sum.Mean, "max_ns": sum.Max}, nil
@@ -112,18 +116,18 @@ func fig8Jobs(s Scale) JobSet {
 			Name:   "register=" + strconv.Itoa(int(reg)),
 			Params: map[string]string{"register": strconv.Itoa(int(reg))},
 			Run: func() (Metrics, error) {
-				var bws []float64
-				for trial := 0; trial < s.Trials; trial++ {
+				bws := make([]float64, s.Trials)
+				err := runUnits(s, s.Trials, func(trial int) error {
 					env, err := bench.NewEnv(bench.EnvConfig{
 						Preset: machine.XeonE5_2450, Mode: bench.Native,
 						Lookahead: 5 * sim.Microsecond,
 					})
 					if err != nil {
-						return nil, trialErr("fig8", trial, err)
+						return trialErr("fig8", trial, err)
 					}
 					for _, sock := range env.Mach.Sockets() {
 						if err := sock.Ctrl.SetThrottle(reg); err != nil {
-							return nil, trialErr("fig8", trial, err)
+							return trialErr("fig8", trial, err)
 						}
 					}
 					var res bench.StreamResult
@@ -137,9 +141,13 @@ func fig8Jobs(s Scale) JobSet {
 						}
 					})
 					if err != nil {
-						return nil, trialErr("fig8", trial, err)
+						return trialErr("fig8", trial, err)
 					}
-					bws = append(bws, res.BytesPerSec/1e9)
+					bws[trial] = res.BytesPerSec / 1e9
+					return nil
+				})
+				if err != nil {
+					return nil, err
 				}
 				return Metrics{"copy_gbps": stats.Summarize(bws).Mean}, nil
 			},

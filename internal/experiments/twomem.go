@@ -67,15 +67,16 @@ func fig14Jobs(s Scale) JobSet {
 							"pattern": pat.name, "nvm_ns": fmt.Sprintf("%.0f", nvmNS),
 						},
 						Run: func() (Metrics, error) {
-							var cts, exps []sim.Time
-							for trial := 0; trial < s.Trials; trial++ {
+							cts := make([]sim.Time, s.Trials)
+							exps := make([]sim.Time, s.Trials)
+							err := runUnits(s, s.Trials, func(trial int) error {
 								q := quartzConfig(nvmNS)
 								q.TwoMemory = true
 								env, err := bench.NewEnv(bench.EnvConfig{
 									Preset: pr.preset, Mode: bench.Emulated, Quartz: q,
 								})
 								if err != nil {
-									return nil, trialErr("fig14", trial, err)
+									return trialErr("fig14", trial, err)
 								}
 								ml, err := bench.BuildMultiLat(env.Proc, env.Emu, bench.MultiLatConfig{
 									DRAMLines: s.MultiLatLines * cfgRow.mul,
@@ -84,7 +85,7 @@ func fig14Jobs(s Scale) JobSet {
 									Seed: int64(trial*7 + 1),
 								})
 								if err != nil {
-									return nil, trialErr("fig14", trial, err)
+									return trialErr("fig14", trial, err)
 								}
 								var res bench.MultiLatResult
 								if err := env.Run(func(e *bench.Env, th *simosThread) {
@@ -94,10 +95,14 @@ func fig14Jobs(s Scale) JobSet {
 									r.CT = th.Now() - start
 									res = r
 								}); err != nil {
-									return nil, trialErr("fig14", trial, err)
+									return trialErr("fig14", trial, err)
 								}
-								cts = append(cts, res.CT)
-								exps = append(exps, res.ExpectedCT)
+								cts[trial] = res.CT
+								exps[trial] = res.ExpectedCT
+								return nil
+							})
+							if err != nil {
+								return nil, err
 							}
 							return Metrics{
 								"ct_ns":       stats.Summarize(nanos(cts)).Mean,

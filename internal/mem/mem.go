@@ -6,6 +6,12 @@
 // Throttling follows the paper's Figure 8: available bandwidth grows
 // linearly with the 12-bit register value until the hardware maximum is
 // reached, after which larger values have no further effect.
+//
+// Access is on the per-load hot path (every L3 miss lands here), so the
+// steady state allocates nothing: channel state lives in flat arrays sized
+// at construction, and token-bucket occupancy is recomputed only on
+// throttle-register writes. The no-allocation contract is enforced by the
+// gates behind `make bench-alloc`; see doc/performance.md.
 package mem
 
 import (

@@ -39,8 +39,8 @@ func BenchmarkEpochClosedActive(b *testing.B) {
 }
 
 // BenchmarkEpochClosedStreaming measures the sink-attached path: tail-ring
-// append + event check + encode to the sink. JSONL pays a json.Marshal per
-// record; binary is the cheap streaming encoding.
+// append + event check + encode to the sink. Both formats are zero-alloc at
+// steady state (TestLedgerAppendNoAllocs is the hard gate).
 func BenchmarkEpochClosedStreaming(b *testing.B) {
 	for _, format := range []SinkFormat{FormatJSONL, FormatBinary} {
 		b.Run(format.String(), func(b *testing.B) {

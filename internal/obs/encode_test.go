@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/quartz-emu/quartz/internal/sim"
+)
+
+// TestAppendJSONRecordMatchesStdlib is the contract behind the zero-alloc
+// JSONL encoder: its output must be byte-identical to json.Marshal for any
+// EpochRecord, so readers (jq, DecodeLedger, external tooling) cannot tell
+// the encoders apart. Exercises omitempty boundaries, the float formatting
+// regimes, and strings that need escaping.
+func TestAppendJSONRecordMatchesStdlib(t *testing.T) {
+	floats := []float64{
+		0, 1, -1, 0.1, -0.25, 1.5e6, 11000,
+		1e-6, 9.999e-7, 1e-7, -1e-7, 5e-7, // 'f'→'e' boundary below 1e-6
+		1e21, 9.99e20, -1e21, 2.5e22, // 'f'→'e' boundary at 1e21
+		1e-9, -3.25e-12, 1e300, 4.9e-324, math.MaxFloat64, math.SmallestNonzeroFloat64,
+	}
+	strs := []string{
+		"", "main", "worker-12", "bench",
+		`quo"te`, `back\slash`, "<html>&", "line\nbreak", "tab\there",
+		"\x00ctl", "caf\u00e9", "\u2028sep", "emoji \U0001F600",
+	}
+	rng := rand.New(rand.NewSource(1))
+	check := func(rec EpochRecord) {
+		t.Helper()
+		want, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatalf("json.Marshal: %v", err)
+		}
+		got := appendJSONRecord(nil, rec)
+		if !bytes.Equal(got, want) {
+			t.Errorf("encoder mismatch for %+v:\n got %s\nwant %s", rec, got, want)
+		}
+	}
+
+	check(EpochRecord{}) // every omitempty field at its zero value
+	for i := 0; i < 500; i++ {
+		rec := EpochRecord{
+			Seq:            rng.Uint64(),
+			PID:            rng.Intn(100),
+			TID:            rng.Intn(64) - 2,
+			Thread:         strs[rng.Intn(len(strs))],
+			Start:          sim.Time(rng.Int63n(1e15)),
+			End:            sim.Time(rng.Int63n(1e15)),
+			Reason:         []string{"max", "sync", "end"}[rng.Intn(3)],
+			StallCycles:    rng.Uint64() >> uint(rng.Intn(64)),
+			L3Hit:          uint64(rng.Int63n(1e9)),
+			L3MissLocal:    uint64(rng.Int63n(1e9)),
+			L3MissRemote:   uint64(rng.Int63n(3)) * uint64(rng.Int63n(1e9)),
+			LDMStallCycles: floats[rng.Intn(len(floats))],
+			Delay:          sim.Time(rng.Int63n(1e12)),
+			Injected:       sim.Time(rng.Int63n(1e12)),
+			InjectStart:    sim.Time(rng.Int63n(2)) * sim.Time(rng.Int63n(1e15)),
+			InjectEnd:      sim.Time(rng.Int63n(2)) * sim.Time(rng.Int63n(1e15)),
+			Overhead:       sim.Time(rng.Int63n(1e9)),
+			Carry:          sim.Time(rng.Int63n(1e9) - 5e8),
+		}
+		check(rec)
+	}
+	// Random float bit patterns, skipping the NaN/Inf space json refuses.
+	for i := 0; i < 2000; i++ {
+		f := math.Float64frombits(rng.Uint64())
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		check(EpochRecord{LDMStallCycles: f, Reason: "max"})
+	}
+}
+
+// TestAppendRecordBinaryMatchesTwoBuffer pins the in-place length-prefix
+// encoding against the obvious two-buffer construction.
+func TestAppendRecordBinaryMatchesTwoBuffer(t *testing.T) {
+	recs := []EpochRecord{
+		{},
+		benchRecord,
+		{Seq: 1 << 60, Thread: "long-thread-name-to-grow-the-payload",
+			Reason: "sync", LDMStallCycles: -1.5, Carry: -sim.Millisecond},
+	}
+	for _, rec := range recs {
+		var want []byte
+		payload := appendBinaryPayload(nil, rec)
+		want = appendUvarintTest(want, uint64(len(payload)))
+		want = append(want, payload...)
+
+		got := appendRecord(nil, rec, FormatBinary)
+		if !bytes.Equal(got, want) {
+			t.Errorf("binary framing mismatch for %+v:\n got %x\nwant %x", rec, got, want)
+		}
+		// And prefix-encoding onto a non-empty buffer must not disturb it.
+		pre := []byte("prefix")
+		got2 := appendRecord(append([]byte(nil), pre...), rec, FormatBinary)
+		if !bytes.Equal(got2, append(append([]byte(nil), pre...), want...)) {
+			t.Errorf("binary framing with prefix mismatch for %+v", rec)
+		}
+	}
+}
+
+func appendUvarintTest(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+// TestLedgerAppendNoAllocs is the allocation gate for the sink-attached
+// epoch-close path: once the tail ring and encoder scratch have reached
+// steady state, appending a record must not allocate in either format.
+func TestLedgerAppendNoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	for _, format := range []SinkFormat{FormatJSONL, FormatBinary} {
+		t.Run(format.String(), func(t *testing.T) {
+			r := New(0)
+			if err := r.AttachSink(NewWriterSink(discard{}, format), 64); err != nil {
+				t.Fatal(err)
+			}
+			// Warm up: fill the tail ring and grow the encoder scratch.
+			for i := 0; i < 256; i++ {
+				r.EpochClosed(benchRecord)
+			}
+			if allocs := testing.AllocsPerRun(200, func() {
+				r.EpochClosed(benchRecord)
+			}); allocs != 0 {
+				t.Errorf("steady-state EpochClosed with %s sink: %v allocs/op, want 0", format, allocs)
+			}
+			if err := r.CloseSink(); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.SinkErr(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

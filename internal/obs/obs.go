@@ -107,8 +107,63 @@ func (e EpochRecord) Len() sim.Time { return e.End - e.Start }
 // Recorder collects epoch records and metrics for one run (or one parallel
 // suite of runs). The zero value is not used directly; construct with New.
 // A nil *Recorder is a valid no-op sink.
+// hotMetrics caches the handles of the metrics the per-epoch paths touch.
+// Registry.Counter/Histogram take a mutex and allocate when the name is
+// built by concatenation, so the steady-state recording path resolves every
+// fixed name once (in New) and reaches the atomics directly afterwards.
+type hotMetrics struct {
+	epochsClosed   *Counter
+	reasonMax      *Counter
+	reasonSync     *Counter
+	reasonEnd      *Counter
+	delayComputed  *Counter
+	delayInjected  *Counter
+	delayWithheld  *Counter
+	overheadEpoch  *Counter
+	epochLen       *Histogram
+	epochDelay     *Histogram
+	epochStall     *Histogram
+	suppressedSync *Counter
+	suppressedMax  *Counter
+	contendedWaits *Counter
+}
+
+func newHotMetrics(reg *Registry) hotMetrics {
+	return hotMetrics{
+		epochsClosed:   reg.Counter("quartz.epochs.closed"),
+		reasonMax:      reg.Counter("quartz.epochs.reason.max"),
+		reasonSync:     reg.Counter("quartz.epochs.reason.sync"),
+		reasonEnd:      reg.Counter("quartz.epochs.reason.end"),
+		delayComputed:  reg.Counter("quartz.delay.computed_ns"),
+		delayInjected:  reg.Counter("quartz.delay.injected_ns"),
+		delayWithheld:  reg.Counter("quartz.delay.withheld_ns"),
+		overheadEpoch:  reg.Counter("quartz.overhead.epoch_ns"),
+		epochLen:       reg.Histogram("quartz.epoch.len_ns"),
+		epochDelay:     reg.Histogram("quartz.epoch.delay_ns"),
+		epochStall:     reg.Histogram("quartz.epoch.stall_cycles"),
+		suppressedSync: reg.Counter("quartz.epochs.suppressed.sync"),
+		suppressedMax:  reg.Counter("quartz.epochs.suppressed.max"),
+		contendedWaits: reg.Counter("simos.sync.contended_waits"),
+	}
+}
+
+// reasonCounter maps a close-trigger string to its cached counter; unknown
+// reasons (none exist today) fall back to the registry's concat path.
+func (h *hotMetrics) reasonCounter(reg *Registry, reason string) *Counter {
+	switch reason {
+	case "max":
+		return h.reasonMax
+	case "sync":
+		return h.reasonSync
+	case "end":
+		return h.reasonEnd
+	}
+	return reg.Counter("quartz.epochs.reason." + reason)
+}
+
 type Recorder struct {
 	reg *Registry
+	hot hotMetrics
 	hub eventHub
 
 	mu     sync.Mutex
@@ -135,7 +190,8 @@ func New(limit int) *Recorder {
 	if limit <= 0 {
 		limit = DefaultLedgerLimit
 	}
-	return &Recorder{reg: NewRegistry(), limit: limit}
+	reg := NewRegistry()
+	return &Recorder{reg: reg, hot: newHotMetrics(reg), limit: limit}
 }
 
 // Enabled reports whether r actually records (false for nil).
@@ -263,17 +319,17 @@ func (r *Recorder) EpochClosed(rec EpochRecord) {
 	r.epochEvents(rec)
 	r.mu.Unlock()
 
-	r.reg.Counter("quartz.epochs.closed").Add(1)
-	r.reg.Counter("quartz.epochs.reason." + rec.Reason).Add(1)
-	r.reg.Counter("quartz.delay.computed_ns").Add(ns(rec.Delay))
-	r.reg.Counter("quartz.delay.injected_ns").Add(ns(rec.Injected))
+	r.hot.epochsClosed.Add(1)
+	r.hot.reasonCounter(r.reg, rec.Reason).Add(1)
+	r.hot.delayComputed.Add(ns(rec.Delay))
+	r.hot.delayInjected.Add(ns(rec.Injected))
 	if rec.Delay > rec.Injected {
-		r.reg.Counter("quartz.delay.withheld_ns").Add(ns(rec.Delay - rec.Injected))
+		r.hot.delayWithheld.Add(ns(rec.Delay - rec.Injected))
 	}
-	r.reg.Counter("quartz.overhead.epoch_ns").Add(ns(rec.Overhead))
-	r.reg.Histogram("quartz.epoch.len_ns").Observe(ns(rec.Len()))
-	r.reg.Histogram("quartz.epoch.delay_ns").Observe(ns(rec.Delay))
-	r.reg.Histogram("quartz.epoch.stall_cycles").Observe(int64(rec.StallCycles))
+	r.hot.overheadEpoch.Add(ns(rec.Overhead))
+	r.hot.epochLen.Observe(ns(rec.Len()))
+	r.hot.epochDelay.Observe(ns(rec.Delay))
+	r.hot.epochStall.Observe(int64(rec.StallCycles))
 }
 
 // EpochSuppressed counts an epoch-close trigger that was ignored because
@@ -284,7 +340,14 @@ func (r *Recorder) EpochSuppressed(trigger string) {
 	if r == nil {
 		return
 	}
-	r.reg.Counter("quartz.epochs.suppressed." + trigger).Add(1)
+	switch trigger {
+	case "sync":
+		r.hot.suppressedSync.Add(1)
+	case "max":
+		r.hot.suppressedMax.Add(1)
+	default:
+		r.reg.Counter("quartz.epochs.suppressed." + trigger).Add(1)
+	}
 }
 
 // ContendedWait counts a thread blocking on an already-held lock — the
@@ -293,7 +356,7 @@ func (r *Recorder) ContendedWait() {
 	if r == nil {
 		return
 	}
-	r.reg.Counter("simos.sync.contended_waits").Add(1)
+	r.hot.contendedWaits.Add(1)
 }
 
 // KernelRun folds one finished simulation kernel's scheduler statistics

@@ -235,21 +235,123 @@ func (s *writerSink) Append(rec EpochRecord) error {
 
 func (s *writerSink) Close() error { return nil }
 
-// appendRecord encodes rec in the given format onto buf.
+// appendRecord encodes rec in the given format onto buf. Both encodings are
+// allocation-free once buf has grown to steady-state capacity — Append sits
+// on the epoch-close path, so each record must not cost a garbage object.
 func appendRecord(buf []byte, rec EpochRecord, format SinkFormat) []byte {
 	if format == FormatJSONL {
-		line, err := json.Marshal(rec)
-		if err != nil {
-			// EpochRecord has no unmarshalable fields; keep the signature
-			// allocation-friendly and make the impossible loud.
-			panic(fmt.Sprintf("obs: marshaling EpochRecord: %v", err))
-		}
-		buf = append(buf, line...)
+		buf = appendJSONRecord(buf, rec)
 		return append(buf, '\n')
 	}
-	payload := appendBinaryPayload(nil, rec)
-	buf = binary.AppendUvarint(buf, uint64(len(payload)))
-	return append(buf, payload...)
+	// Length-prefix the payload without a second buffer: reserve the widest
+	// possible uvarint, encode the payload after it, then write the real
+	// prefix and slide the payload onto it.
+	base := len(buf)
+	var zero [binary.MaxVarintLen64]byte
+	buf = append(buf, zero[:]...)
+	buf = appendBinaryPayload(buf, rec)
+	payloadLen := len(buf) - base - binary.MaxVarintLen64
+	n := binary.PutUvarint(zero[:], uint64(payloadLen))
+	copy(buf[base:], zero[:n])
+	copy(buf[base+n:], buf[base+binary.MaxVarintLen64:])
+	return buf[:base+n+payloadLen]
+}
+
+// appendJSONRecord encodes rec byte-identically to encoding/json (field
+// order, omitempty handling, float formatting and string escaping all
+// match; TestAppendJSONRecordMatchesStdlib enforces the equivalence) while
+// appending into the caller's buffer instead of allocating a fresh line.
+func appendJSONRecord(buf []byte, rec EpochRecord) []byte {
+	buf = append(buf, `{"seq":`...)
+	buf = strconv.AppendUint(buf, rec.Seq, 10)
+	buf = append(buf, `,"pid":`...)
+	buf = strconv.AppendInt(buf, int64(rec.PID), 10)
+	buf = append(buf, `,"tid":`...)
+	buf = strconv.AppendInt(buf, int64(rec.TID), 10)
+	if rec.Thread != "" {
+		buf = append(buf, `,"thread":`...)
+		buf = appendJSONString(buf, rec.Thread)
+	}
+	buf = append(buf, `,"start_fs":`...)
+	buf = strconv.AppendInt(buf, int64(rec.Start), 10)
+	buf = append(buf, `,"end_fs":`...)
+	buf = strconv.AppendInt(buf, int64(rec.End), 10)
+	buf = append(buf, `,"reason":`...)
+	buf = appendJSONString(buf, rec.Reason)
+	buf = append(buf, `,"stall_cycles":`...)
+	buf = strconv.AppendUint(buf, rec.StallCycles, 10)
+	buf = append(buf, `,"l3_hit":`...)
+	buf = strconv.AppendUint(buf, rec.L3Hit, 10)
+	buf = append(buf, `,"l3_miss_local":`...)
+	buf = strconv.AppendUint(buf, rec.L3MissLocal, 10)
+	if rec.L3MissRemote != 0 {
+		buf = append(buf, `,"l3_miss_remote":`...)
+		buf = strconv.AppendUint(buf, rec.L3MissRemote, 10)
+	}
+	buf = append(buf, `,"ldm_stall_cycles":`...)
+	buf = appendJSONFloat(buf, rec.LDMStallCycles)
+	buf = append(buf, `,"delay_fs":`...)
+	buf = strconv.AppendInt(buf, int64(rec.Delay), 10)
+	buf = append(buf, `,"injected_fs":`...)
+	buf = strconv.AppendInt(buf, int64(rec.Injected), 10)
+	if rec.InjectStart != 0 {
+		buf = append(buf, `,"inject_start_fs":`...)
+		buf = strconv.AppendInt(buf, int64(rec.InjectStart), 10)
+	}
+	if rec.InjectEnd != 0 {
+		buf = append(buf, `,"inject_end_fs":`...)
+		buf = strconv.AppendInt(buf, int64(rec.InjectEnd), 10)
+	}
+	buf = append(buf, `,"overhead_fs":`...)
+	buf = strconv.AppendInt(buf, int64(rec.Overhead), 10)
+	buf = append(buf, `,"carry_fs":`...)
+	buf = strconv.AppendInt(buf, int64(rec.Carry), 10)
+	return append(buf, '}')
+}
+
+// appendJSONString appends s as a JSON string. Strings that are plain
+// printable ASCII with nothing encoding/json would escape (it HTML-escapes
+// <, >, & by default) take the copy fast path; anything else — control
+// bytes, quotes, backslashes, non-ASCII — defers to json.Marshal for
+// byte-identical escaping (allocating; epoch reasons and thread names are
+// ASCII-safe in practice).
+func appendJSONString(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x80 || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			enc, err := json.Marshal(s)
+			if err != nil {
+				panic(fmt.Sprintf("obs: marshaling string: %v", err))
+			}
+			return append(buf, enc...)
+		}
+	}
+	buf = append(buf, '"')
+	buf = append(buf, s...)
+	return append(buf, '"')
+}
+
+// appendJSONFloat appends f with encoding/json's float formatting: shortest
+// representation, %f style except for very small or very large magnitudes,
+// and the stdlib's two-digit-exponent cleanup (e-09 → e-9).
+func appendJSONFloat(buf []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		// json.Marshal would refuse the record; make the impossible loud.
+		panic(fmt.Sprintf("obs: unsupported float value %v in EpochRecord", f))
+	}
+	format := byte('f')
+	if abs := math.Abs(f); abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	start := len(buf)
+	buf = strconv.AppendFloat(buf, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(buf); n-start >= 4 && buf[n-4] == 'e' && buf[n-3] == '-' && buf[n-2] == '0' {
+			buf[n-2] = buf[n-1]
+			buf = buf[:n-1]
+		}
+	}
+	return buf
 }
 
 // appendBinaryPayload encodes the record fields in their fixed order:

@@ -96,6 +96,48 @@ func TestTrafficSuiteDeterminism(t *testing.T) {
 	}
 }
 
+// TestTrialParallelDeterminism: within one job, the repeated trials and the
+// paired Conf_1/Conf_2 (or model-variant) simulations merge by position, so
+// the assembled tables must be byte-identical for serial vs. parallel units
+// — and for every -parallel × -trial-parallel combination, the ISSUE 7
+// gate. fig11 exercises paired trials, model-ablation the variant fan-out,
+// table2 the plain positional trial slots.
+func TestTrialParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments")
+	}
+	ids := []string{"fig11", "model-ablation", "table2"}
+	scale := suiteScale
+	scale.Trials = 3 // multiple trial units per job, not just the paired runs
+	serial, err := Suite(context.Background(), ids, scale, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(t, serial)
+	if len(want) == 0 {
+		t.Fatal("empty suite output")
+	}
+	for _, cfg := range []struct {
+		name            string
+		workers, trials int
+	}{
+		{"serial-workers/parallel-trials", 1, 4},
+		{"parallel-workers/parallel-trials", 6, 4},
+		{"parallel-workers/serial-trials", 6, 1},
+	} {
+		s := scale
+		s.TrialParallel = cfg.trials
+		runs, err := Suite(context.Background(), ids, s, Config{Workers: cfg.workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := renderAll(t, runs); got != want {
+			t.Errorf("%s diverges from serial output:\n--- serial ---\n%s\n--- %s ---\n%s",
+				cfg.name, want, cfg.name, got)
+		}
+	}
+}
+
 // TestSuiteSerialMatchesDirectRun: the Workers=1 suite path must reproduce
 // experiments.Run exactly.
 func TestSuiteSerialMatchesDirectRun(t *testing.T) {

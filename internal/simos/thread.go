@@ -52,11 +52,20 @@ func (t *Thread) Failf(format string, args ...any) {
 // Trace records an event against this thread when tracing is active. The
 // emulator uses it for epoch and injection events; applications may record
 // their own (trace.KindUser).
+//
+// The detail string is evaluated by the caller even when tracing is off, so
+// hot paths must gate any formatting behind Tracing() to stay
+// allocation-free (see traceAddr for the pattern).
 func (t *Thread) Trace(kind trace.Kind, detail string) {
 	if tr := t.proc.tracer; tr != nil {
 		tr.Record(t.coro.Clock(), t.name, kind, detail)
 	}
 }
+
+// Tracing reports whether an execution tracer is attached to the process.
+// Hot paths check it before building Trace detail strings so that the
+// disabled path pays one branch and zero allocations.
+func (t *Thread) Tracing() bool { return t.proc.tracer != nil }
 
 // traceAddr records a memory-op event without formatting cost when tracing
 // is off.
