@@ -53,14 +53,15 @@ bench-quick:
 	$(GO) test -bench='BenchmarkKernel' -benchtime=100000x -run=^$$ ./internal/sim
 	$(GO) test -bench='BenchmarkEmulated' -benchtime=10000x -run=^$$ ./internal/bench
 	$(GO) test -bench='BenchmarkEpochClosedStreaming' -benchtime=100000x -run=^$$ ./internal/obs
+	$(GO) test -bench='BenchmarkWorkload' -benchtime=100000x -run=^$$ ./internal/workload
 
 # bench-alloc runs the allocation-regression gates: testing.AllocsPerRun
 # asserting zero allocations on the steady-state epoch-close, batched
-# load/store, prefetcher, and ledger-append paths. Runs without -race (the
-# race runtime allocates); `make test` still covers these files race-enabled
-# with the gates skipped.
+# load/store, prefetcher, ledger-append, and traffic measured-op paths. Runs
+# without -race (the race runtime allocates); `make test` still covers these
+# files race-enabled with the gates skipped.
 bench-alloc:
-	$(GO) test -run 'NoAllocs' -count=1 ./internal/bench ./internal/cache ./internal/obs
+	$(GO) test -run 'NoAllocs' -count=1 ./internal/bench ./internal/cache ./internal/obs ./internal/workload
 
 # bench-compare times the quick suite experiment by experiment (min of
 # three passes each) with intra-experiment trial parallelism on, diffs

@@ -78,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ledgerRotMB  = fs.Int64("ledger-rotate-mb", 0, "rotate the ledger sink file after this many MiB (0 = never)")
 		trafClients  = fs.String("traffic-clients", "", "comma-separated client counts overriding the scale's traffic-* sweep (e.g. 64,256,1024)")
 		trafMixes    = fs.String("traffic-mixes", "", "comma-separated mix presets overriding the scale's traffic-* sweep (read-mostly, write-heavy, scan-blend)")
+		trafPool     = fs.Int("traffic-pool", 0, "serving pool threads per traffic scenario, overriding the scale (0 = scale default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -112,7 +113,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	scale.TrialParallel = *trialPar
-	if err := applyTrafficOverrides(&scale, *trafClients, *trafMixes); err != nil {
+	if err := applyTrafficOverrides(&scale, *trafClients, *trafMixes, *trafPool); err != nil {
 		fmt.Fprintf(stderr, "quartzbench: %v\n", err)
 		return 2
 	}
@@ -326,9 +327,9 @@ func validateFlags(list bool, parallel, trialParallel, retries int, serve string
 }
 
 // applyTrafficOverrides narrows the scale's traffic sweep from the
-// -traffic-clients / -traffic-mixes flags, validating both lists upfront so
-// a typo fails before any experiment runs.
-func applyTrafficOverrides(scale *experiments.Scale, clientsCSV, mixesCSV string) error {
+// -traffic-clients / -traffic-mixes / -traffic-pool flags, validating every
+// value upfront so a typo fails before any experiment runs.
+func applyTrafficOverrides(scale *experiments.Scale, clientsCSV, mixesCSV string, pool int) error {
 	if clientsCSV != "" {
 		var clients []int
 		for _, s := range strings.Split(clientsCSV, ",") {
@@ -351,6 +352,12 @@ func applyTrafficOverrides(scale *experiments.Scale, clientsCSV, mixesCSV string
 			mixes = append(mixes, name)
 		}
 		scale.TrafficMixes = mixes
+	}
+	switch {
+	case pool < 0:
+		return fmt.Errorf("-traffic-pool %d: must be >= 0 (0 = scale default)", pool)
+	case pool > 0:
+		scale.TrafficPool = pool
 	}
 	return nil
 }

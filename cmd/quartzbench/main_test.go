@@ -67,6 +67,7 @@ func TestTrafficFlagValidation(t *testing.T) {
 		{"-exp", "traffic-sweep", "-traffic-clients", "0"},
 		{"-exp", "traffic-sweep", "-traffic-clients", "-4"},
 		{"-exp", "traffic-sweep", "-traffic-mixes", "read-heavy"},
+		{"-exp", "traffic-sweep", "-traffic-pool", "-2"},
 	}
 	for _, args := range cases {
 		if code, _, _ := runCLI(t, args...); code != 2 {
@@ -79,10 +80,10 @@ func TestTrafficFlagValidation(t *testing.T) {
 	}
 }
 
-// TestTrafficOverrides applies both traffic flags to the scale.
+// TestTrafficOverrides applies the traffic flags to the scale.
 func TestTrafficOverrides(t *testing.T) {
 	s := experiments.Quick
-	if err := applyTrafficOverrides(&s, "8, 24", "scan-blend"); err != nil {
+	if err := applyTrafficOverrides(&s, "8, 24", "scan-blend", 9); err != nil {
 		t.Fatal(err)
 	}
 	if len(s.TrafficClients) != 2 || s.TrafficClients[0] != 8 || s.TrafficClients[1] != 24 {
@@ -91,13 +92,22 @@ func TestTrafficOverrides(t *testing.T) {
 	if len(s.TrafficMixes) != 1 || s.TrafficMixes[0] != "scan-blend" {
 		t.Errorf("TrafficMixes = %v", s.TrafficMixes)
 	}
+	if s.TrafficPool != 9 {
+		t.Errorf("TrafficPool = %d, want 9", s.TrafficPool)
+	}
 	// Empty flags leave the scale untouched.
 	s2 := experiments.Quick
-	if err := applyTrafficOverrides(&s2, "", ""); err != nil {
+	if err := applyTrafficOverrides(&s2, "", "", 0); err != nil {
 		t.Fatal(err)
 	}
 	if len(s2.TrafficClients) != len(experiments.Quick.TrafficClients) {
 		t.Errorf("empty override changed TrafficClients: %v", s2.TrafficClients)
+	}
+	if s2.TrafficPool != experiments.Quick.TrafficPool {
+		t.Errorf("pool 0 changed TrafficPool: %d", s2.TrafficPool)
+	}
+	if err := applyTrafficOverrides(&s2, "", "", -1); err == nil {
+		t.Error("negative -traffic-pool accepted")
 	}
 }
 

@@ -421,9 +421,24 @@ func renderTraffic(w io.Writer, cur, prev *sample, ec *eventCounts) {
 		fmtNS(m.histQ("quartz.ops.latency_ns", "p95")),
 		fmtNS(m.histQ("quartz.ops.latency_ns", "p99")))
 	if te != nil {
-		fmt.Fprintf(w, "  scenario %-24s %s %d/%d ops  %.0f ops/s sim  p99 %s\n",
-			te.Scenario, bar(int(te.Done), int(te.TotalOps), 20), te.Done, te.TotalOps,
+		fmt.Fprintf(w, "  scenario %-24s %s clients  %s %s/%s ops  %.0f ops/s sim  p99 %s\n",
+			te.Scenario, fmtCount(float64(te.Clients)),
+			bar(int(te.Done), int(te.TotalOps), 20), fmtCount(float64(te.Done)), fmtCount(float64(te.TotalOps)),
 			te.OpsPerSec, fmtNS(te.P99NS))
+	}
+}
+
+// fmtCount renders a count compactly: exact below 100k, k/M-suffixed above
+// (a million-client scenario reports 1.0M clients and multi-million op
+// totals, which would otherwise blow out the panel's columns).
+func fmtCount(n float64) string {
+	switch {
+	case n >= 1e6:
+		return fmt.Sprintf("%.1fM", n/1e6)
+	case n >= 1e5:
+		return fmt.Sprintf("%.0fk", n/1e3)
+	default:
+		return fmt.Sprintf("%.0f", n)
 	}
 }
 

@@ -233,6 +233,21 @@ func TestBar(t *testing.T) {
 	}
 }
 
+func TestFmtCount(t *testing.T) {
+	cases := map[float64]string{
+		0:         "0",
+		512:       "512",
+		16_384:    "16384",
+		262_144:   "262k",
+		1_048_576: "1.0M",
+	}
+	for in, want := range cases {
+		if got := fmtCount(in); got != want {
+			t.Errorf("fmtCount(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
 func TestFmtNS(t *testing.T) {
 	cases := map[float64]string{
 		12:      "12ns",

@@ -51,6 +51,15 @@ type Scale struct {
 	// TrafficLatsNS is the emulated NVM latency sweep of the traffic
 	// experiments.
 	TrafficLatsNS []float64
+	// TrafficMegaClients is the client-count axis of traffic-mega, the
+	// scheduler-scale sweep. It extends far past TrafficClients (Full tops out
+	// at 2^20 clients), so per-client op counts come from the Mega fields
+	// below rather than TrafficOps/TrafficWarmup.
+	TrafficMegaClients []int
+	// TrafficMegaOps / TrafficMegaWarmup are traffic-mega's per-client
+	// measured and warmup op counts (small: total ops scale with the client
+	// count).
+	TrafficMegaOps, TrafficMegaWarmup int
 	// Sparse trims sweep grids (fewer latency points / patterns) for
 	// quick runs; Full uses the paper's complete grids.
 	Sparse bool
@@ -86,6 +95,10 @@ var Quick = Scale{
 	TrafficPreload:   32_000,
 	TrafficMixes:     []string{"read-mostly", "write-heavy", "scan-blend"},
 	TrafficLatsNS:    []float64{200, 1000},
+
+	TrafficMegaClients: []int{4_096, 16_384},
+	TrafficMegaOps:     3,
+	TrafficMegaWarmup:  1,
 }
 
 // Full is the EXPERIMENTS.md scale.
@@ -108,6 +121,10 @@ var Full = Scale{
 	TrafficPreload:   100_000,
 	TrafficMixes:     []string{"read-mostly", "write-heavy", "scan-blend"},
 	TrafficLatsNS:    []float64{200, 600, 2_000},
+
+	TrafficMegaClients: []int{65_536, 262_144, 1_048_576},
+	TrafficMegaOps:     4,
+	TrafficMegaWarmup:  1,
 }
 
 // Metrics is the flat numeric result of one job, keyed by metric name

@@ -29,6 +29,10 @@ var tiny = Scale{
 	TrafficPreload:   200,
 	TrafficMixes:     []string{"read-mostly", "scan-blend"},
 	TrafficLatsNS:    []float64{300},
+
+	TrafficMegaClients: []int{32, 128},
+	TrafficMegaOps:     2,
+	TrafficMegaWarmup:  1,
 }
 
 func TestRegistryComplete(t *testing.T) {
@@ -38,7 +42,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table2", "fig8", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "pagerank-validate", "overhead", "epoch-size",
 		"model-ablation", "pcommit", "amortization", "graph500-validate", "ext-asym-bw",
-		"traffic-sweep", "traffic-slo",
+		"traffic-sweep", "traffic-slo", "traffic-mega",
 	}
 	have := map[string]bool{}
 	for _, id := range All() {

@@ -34,6 +34,7 @@ var registry = map[string]entry{
 	"ext-asym-bw":       {asymmetricBandwidthJobs, "asymmetric read/write bandwidth throttling (§2.1 extension)"},
 	"traffic-sweep":     {trafficSweepJobs, "serving traffic: client count x mix x NVM latency, knee detection (extension)"},
 	"traffic-slo":       {trafficSLOJobs, "serving traffic: per-op-kind SLO breakdown at peak load (extension)"},
+	"traffic-mega":      {trafficMegaJobs, "serving traffic at scheduler scale: up to 2^20 clients per scenario (extension)"},
 }
 
 // All lists experiment ids in stable order.

@@ -85,6 +85,105 @@ func bucketOf(v int64) int {
 	return bits.Len64(uint64(v - 1))
 }
 
+// merge folds a batch of observations — a count, their sum, the batch min
+// and max, and per-bucket counts (nil when the caller folds buckets itself)
+// — into the histogram. Each field is merged atomically, so concurrent
+// mergers and observers compose; min/max may be re-merged idempotently
+// across repeated flushes of the same source.
+func (h *Histogram) merge(count, sum, mn, mx int64, bkt *[histBuckets]int64) {
+	if count <= 0 {
+		return
+	}
+	h.once.Do(func() { h.min.Store(mn) })
+	h.count.Add(count)
+	h.sum.Add(sum)
+	for {
+		cur := h.min.Load()
+		if mn >= cur || h.min.CompareAndSwap(cur, mn) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if mx <= cur || h.max.CompareAndSwap(cur, mx) {
+			break
+		}
+	}
+	if bkt != nil {
+		for k := range bkt {
+			if n := bkt[k]; n != 0 {
+				h.bkt[k].Add(n)
+			}
+		}
+	}
+}
+
+// LocalHistogram is a plain, non-atomic power-of-two histogram for batched
+// recording on a hot path owned by one goroutine (or one cooperatively
+// scheduled simulation thread): Observe is a handful of plain integer
+// operations, and FlushInto periodically folds everything recorded since the
+// previous flush into one or two shared Histograms. The final flush makes
+// the shared totals exact; between flushes they lag by at most the unflushed
+// batch.
+type LocalHistogram struct {
+	count, sum int64
+	min, max   int64
+	bkt        [histBuckets]int64
+	// flushed state: the prefix already folded into the destinations.
+	fCount, fSum int64
+	fBkt         [histBuckets]int64
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (l *LocalHistogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if l.count == 0 || v < l.min {
+		l.min = v
+	}
+	if v > l.max {
+		l.max = v
+	}
+	l.count++
+	l.sum += v
+	l.bkt[bucketOf(v)]++
+}
+
+// Count reports the number of observations recorded (flushed or not).
+func (l *LocalHistogram) Count() int64 { return l.count }
+
+// FlushInto folds the observations recorded since the previous flush into
+// dst and, when non-nil, dst2 — the same delta into both, so a result
+// histogram and a live registry histogram stay in step from one flush
+// stream. Nil destinations are skipped; a no-op when nothing new was
+// recorded.
+func (l *LocalHistogram) FlushInto(dst, dst2 *Histogram) {
+	dc := l.count - l.fCount
+	if dc == 0 {
+		return
+	}
+	ds := l.sum - l.fSum
+	if dst != nil {
+		dst.merge(dc, ds, l.min, l.max, nil)
+	}
+	if dst2 != nil {
+		dst2.merge(dc, ds, l.min, l.max, nil)
+	}
+	for k := range l.bkt {
+		if d := l.bkt[k] - l.fBkt[k]; d != 0 {
+			if dst != nil {
+				dst.bkt[k].Add(d)
+			}
+			if dst2 != nil {
+				dst2.bkt[k].Add(d)
+			}
+			l.fBkt[k] = l.bkt[k]
+		}
+	}
+	l.fCount, l.fSum = l.count, l.sum
+}
+
 // HistogramSnapshot is an exported view of a Histogram.
 type HistogramSnapshot struct {
 	Count int64   `json:"count"`

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -100,5 +101,59 @@ func TestWriteJSONSortedAndParseable(t *testing.T) {
 	hist, ok := parsed["h.hist"].(map[string]any)
 	if !ok || hist["count"] != float64(1) {
 		t.Errorf("histogram snapshot malformed: %v", parsed["h.hist"])
+	}
+}
+
+// TestLocalHistogramFlushEquivalence: a LocalHistogram flushed in batches
+// (into two destinations at once) must leave the shared histograms exactly
+// as per-op Observe calls would have — same snapshot, byte for byte.
+func TestLocalHistogramFlushEquivalence(t *testing.T) {
+	var direct Histogram
+	var dst, dst2 Histogram
+	var local LocalHistogram
+
+	vals := []int64{0, 1, 2, 3, 1000, -5, 1 << 20, 7, 7, 7, 1 << 40, 42}
+	for i, v := range vals {
+		direct.Observe(v)
+		local.Observe(v)
+		if i%4 == 3 {
+			local.FlushInto(&dst, &dst2)
+		}
+	}
+	local.FlushInto(&dst, &dst2)
+	// Repeated flushes with nothing new must be no-ops.
+	local.FlushInto(&dst, &dst2)
+
+	want := fmt.Sprint(direct.Snapshot())
+	if got := fmt.Sprint(dst.Snapshot()); got != want {
+		t.Errorf("flushed primary differs from direct:\ngot  %s\nwant %s", got, want)
+	}
+	if got := fmt.Sprint(dst2.Snapshot()); got != want {
+		t.Errorf("flushed secondary differs from direct:\ngot  %s\nwant %s", got, want)
+	}
+	if local.Count() != int64(len(vals)) {
+		t.Errorf("local count = %d, want %d", local.Count(), len(vals))
+	}
+}
+
+// TestLocalHistogramFlushIntoWarmDestination: flushing into a histogram that
+// already has direct observations must merge, not replace — min/max and
+// counts combine.
+func TestLocalHistogramFlushIntoWarmDestination(t *testing.T) {
+	var dst Histogram
+	dst.Observe(100)
+	dst.Observe(200)
+
+	var local LocalHistogram
+	local.Observe(5)
+	local.Observe(1 << 30)
+	local.FlushInto(&dst, nil)
+
+	s := dst.Snapshot()
+	if s.Count != 4 || s.Min != 5 || s.Max != 1<<30 {
+		t.Errorf("merged snapshot = count %d min %d max %d, want 4/5/%d", s.Count, s.Min, s.Max, int64(1)<<30)
+	}
+	if s.Sum != 100+200+5+1<<30 {
+		t.Errorf("merged sum = %d", s.Sum)
 	}
 }

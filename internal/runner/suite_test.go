@@ -31,6 +31,10 @@ var suiteScale = experiments.Scale{
 	TrafficPreload:   150,
 	TrafficMixes:     []string{"read-mostly", "write-heavy"},
 	TrafficLatsNS:    []float64{300},
+
+	TrafficMegaClients: []int{24, 96},
+	TrafficMegaOps:     2,
+	TrafficMegaWarmup:  1,
 }
 
 // renderAll concatenates the rendered tables of a suite run.
@@ -78,7 +82,7 @@ func TestTrafficSuiteDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real experiments")
 	}
-	ids := []string{"traffic-sweep", "traffic-slo"}
+	ids := []string{"traffic-sweep", "traffic-slo", "traffic-mega"}
 	serial, err := Suite(context.Background(), ids, suiteScale, Config{Workers: 1})
 	if err != nil {
 		t.Fatal(err)

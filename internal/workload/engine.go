@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"strconv"
 
 	"github.com/quartz-emu/quartz/internal/obs"
 	"github.com/quartz-emu/quartz/internal/sim"
@@ -27,8 +28,9 @@ type Target interface {
 type ScenarioConfig struct {
 	// Name labels the scenario in reports, metrics and events.
 	Name string
-	// Clients is the number of simulated clients. Clients are lightweight
-	// state machines (a generator plus a due time), so tens of thousands
+	// Clients is the number of simulated clients. Client state is flat
+	// struct-of-arrays (a due time, an inline generator, a done count per
+	// client — a few dozen bytes each), so a literal million clients
 	// multiplex over a small pool.
 	Clients int
 	// PoolThreads is the number of simos threads serving the clients
@@ -65,11 +67,18 @@ type ScenarioConfig struct {
 	// events. It never influences the measured result.
 	Obs *obs.Recorder
 	// EventEvery is the number of measured ops between traffic progress
-	// events (0 selects a default; negative disables progress events).
+	// events — and between refreshes of the live quartz.ops.* metrics,
+	// which the measured-op path batches in per-worker plain histograms
+	// (0 selects a default; negative disables progress events).
 	EventEvery int
+
+	// sched forces a specific next-due picker for the scheduler
+	// equivalence tests; the zero value selects automatically.
+	sched schedMode
 }
 
-// defaultEventEvery spaces traffic progress events when EventEvery is 0.
+// defaultEventEvery spaces traffic progress events (and live-metric
+// refreshes) when EventEvery is 0.
 const defaultEventEvery = 4096
 
 // Validate reports configuration errors.
@@ -122,15 +131,8 @@ func (r ScenarioResult) Quantiles() (p50, p95, p99 float64) {
 	return s.P50, s.P95, s.P99
 }
 
-// client is one simulated client's scheduling state.
-type client struct {
-	gen  ClientGen
-	due  sim.Time
-	done int
-}
-
-// liveMetrics caches the registry handles the engine feeds per measured op,
-// so the hot path never touches the registry's name map.
+// liveMetrics caches the registry handles the engine feeds per metric
+// flush, so the flush path never touches the registry's name map.
 type liveMetrics struct {
 	allCount  *obs.Counter
 	allLat    *obs.Histogram
@@ -157,6 +159,302 @@ func newLiveMetrics(rec *obs.Recorder) *liveMetrics {
 	return lm
 }
 
+// scenario is the per-run state every pool worker shares. Pool threads
+// interleave cooperatively within one simulation kernel, so the plain
+// (non-atomic) fields are race-free.
+type scenario struct {
+	cfg    *ScenarioConfig
+	target Target
+	lm     *liveMetrics
+	lat    *Latencies // the assembled result histograms (flush destination)
+	pool   int
+	// readMax/updMax are the mix's cumulative per-mille thresholds, hoisted
+	// so the per-op kind draw is two compares.
+	readMax, updMax int
+	eventEvery      int64
+	totalOps        int64
+	// measured counts measured ops across workers; it times progress
+	// events and live-metric flushes only, never the result.
+	measured int64
+	firstErr error
+}
+
+// worker is one pool thread's client state, flattened struct-of-arrays
+// style: position i owns global client c = w + i*pool, and its due time,
+// generator state and per-phase done count live in parallel slices
+// preallocated to the exact owned count at spawn — a million clients are a
+// few flat slices, not a million heap objects.
+type worker struct {
+	sc *scenario
+	w  int
+
+	due  []sim.Time // next due time per owned client
+	gen  []LCG      // inline generator state (8 bytes per client)
+	done []int32    // ops completed in the current phase
+
+	heap heap4
+	fifo fifoRing
+
+	record bool
+	mStart sim.Time // measurement-phase start, for progress events
+
+	// Measured-op tallies, recorded plain (no atomics) on the op path and
+	// merged positionally into the scenario result after the join; the
+	// flushed* fields track what has already left for the live registry.
+	// lat feeds both the result histograms and the registry from one flush
+	// stream.
+	counts        [NumOpKinds]int64
+	flushedCounts [NumOpKinds]int64
+	flushedAll    int64
+	lat           struct {
+		all  obs.LocalHistogram
+		kind [NumOpKinds]obs.LocalHistogram
+	}
+}
+
+// ownedCount reports how many of n clients position-map onto worker w of a
+// pool-sized pool (the c == w mod pool owners).
+func ownedCount(n, pool, w int) int {
+	if w >= n {
+		return 0
+	}
+	return (n-1-w)/pool + 1
+}
+
+// init preallocates the worker's flat client state to its exact owned
+// count and seeds every generator from (Seed, global client index) — the
+// same streams for any PoolThreads value.
+func (wk *worker) init() {
+	cfg := wk.sc.cfg
+	n := ownedCount(cfg.Clients, wk.sc.pool, wk.w)
+	wk.due = make([]sim.Time, n)
+	wk.gen = make([]LCG, n)
+	wk.done = make([]int32, n)
+	for i := 0; i < n; i++ {
+		wk.gen[i] = NewLCG(ClientState(cfg.Seed, wk.w+i*wk.sc.pool))
+	}
+	// Preallocate only the picker the arrival rule needs: the calendar
+	// needs none, the FIFO ring one int32 per client (its heap fallback
+	// grows lazily in the rare zero-time-op case), everything else the
+	// heap.
+	if cfg.sched == schedAuto && cfg.ArrivalPeriod == 0 && cfg.ThinkTime == 0 {
+		wk.fifo.buf = make([]int32, n)
+	} else if cfg.sched == schedHeap || cfg.sched == schedAuto && cfg.ArrivalPeriod == 0 {
+		wk.heap.idx = make([]int32, 0, n)
+	}
+}
+
+// runOne executes client position i's next op, recording its latency when
+// the measurement window is open, and advances the client's due time.
+func (wk *worker) runOne(t *simos.Thread, i int32) bool {
+	sc := wk.sc
+	cfg := sc.cfg
+	now := t.Now()
+	due := wk.due[i]
+	if due > now {
+		if err := t.Nanosleep(due - now); err != nil {
+			// No signals are used; an interrupt is a bug.
+			t.Failf("workload: %v", err)
+		}
+	}
+	op := nextOp(&wk.gen[i], cfg.Keys, sc.readMax, sc.updMax)
+	if err := applyOp(t, sc.target, op, cfg.Mix.ScanLen, uint64(wk.done[i])); err != nil {
+		if sc.firstErr == nil {
+			sc.firstErr = err
+		}
+		return false
+	}
+	end := t.Now()
+	if wk.record {
+		lat := int64((end - due) / sim.Nanosecond)
+		wk.lat.all.Observe(lat)
+		wk.lat.kind[op.Kind].Observe(lat)
+		wk.counts[op.Kind]++
+		sc.measured++
+		if sc.eventEvery > 0 && sc.measured%sc.eventEvery == 0 {
+			wk.flush()
+			publishProgress(*cfg, sc.measured, sc.totalOps, end-wk.mStart, sc.lat.All.Quantile(0.99))
+		}
+	}
+	wk.done[i]++
+	if cfg.ArrivalPeriod > 0 {
+		wk.due[i] = due + cfg.ArrivalPeriod
+	} else {
+		wk.due[i] = end + cfg.ThinkTime
+	}
+	return true
+}
+
+// flush folds the tallies recorded since the previous flush into the
+// scenario result histograms and, when live metrics are attached, the
+// quartz.ops.* registry — the metric batching that keeps the measured-op
+// path free of atomic operations. Histogram merges are commutative adds, so
+// the assembled result is identical however flushes interleave.
+func (wk *worker) flush() {
+	sc := wk.sc
+	var allReg *obs.Histogram
+	if sc.lm != nil {
+		allReg = sc.lm.allLat
+	}
+	wk.lat.all.FlushInto(&sc.lat.All, allReg)
+	for k := 0; k < NumOpKinds; k++ {
+		var kindReg *obs.Histogram
+		if sc.lm != nil {
+			kindReg = sc.lm.kindLat[k]
+		}
+		wk.lat.kind[k].FlushInto(&sc.lat.Kind[k], kindReg)
+	}
+	if sc.lm == nil {
+		return
+	}
+	var all int64
+	for k, n := range wk.counts {
+		if d := n - wk.flushedCounts[k]; d != 0 {
+			sc.lm.kindCount[k].Add(d)
+			wk.flushedCounts[k] = n
+		}
+		all += n
+	}
+	if d := all - wk.flushedAll; d != 0 {
+		sc.lm.allCount.Add(d)
+		wk.flushedAll = all
+	}
+}
+
+// runPhase serves whichever owned client is due next (ties to the lowest
+// position), one op per pick, until every one has done limit ops.
+func (wk *worker) runPhase(t *simos.Thread, limit int32, record bool) bool {
+	sc := wk.sc
+	cfg := sc.cfg
+	start := t.Now()
+	wk.record = record
+	if record {
+		wk.mStart = start
+	}
+	n := int32(len(wk.due))
+	for i := int32(0); i < n; i++ {
+		wk.done[i] = 0
+		if cfg.ArrivalPeriod > 0 {
+			// Phase-stagger the open-loop schedules so arrivals spread over
+			// the period instead of thundering in herds. The global client
+			// index keeps the schedule independent of the pool size.
+			c := wk.w + int(i)*sc.pool
+			wk.due[i] = start + cfg.ArrivalPeriod*sim.Time(c)/sim.Time(cfg.Clients)
+		} else {
+			wk.due[i] = start
+		}
+	}
+	ok := true
+	switch {
+	case limit <= 0 || n == 0:
+		// Nothing to serve (WarmupOps == 0).
+	case cfg.sched == schedLinear:
+		ok = wk.runLinear(t, limit)
+	case cfg.sched == schedAuto && cfg.ArrivalPeriod > 0:
+		ok = wk.runCalendar(t, limit)
+	case cfg.sched == schedAuto && cfg.ThinkTime == 0:
+		ok = wk.runFIFO(t, limit)
+	default:
+		wk.heap.due = wk.due
+		wk.heap.resetAll(n)
+		ok = wk.heapLoop(t, limit)
+	}
+	if record {
+		wk.flush()
+	}
+	return ok
+}
+
+// runLinear is the reference picker the optimized schedulers are held to:
+// scan every owned client, serve the earliest due with ties to the lowest
+// position — exactly the pre-flattening engine's behavior, O(owned) per op.
+func (wk *worker) runLinear(t *simos.Thread, limit int32) bool {
+	n := int32(len(wk.due))
+	for {
+		next := int32(-1)
+		for i := int32(0); i < n; i++ {
+			if wk.done[i] < limit && (next < 0 || wk.due[i] < wk.due[next]) {
+				next = i
+			}
+		}
+		if next < 0 {
+			return true
+		}
+		if !wk.runOne(t, next) {
+			return false
+		}
+	}
+}
+
+// runCalendar serves the open-loop fixed-arrival schedule in rounds, O(1)
+// per pick with no bookkeeping at all. The initial dues are nondecreasing
+// in position and all inside one arrival period, and every op advances its
+// client by exactly one period, so (due, position) order is provably strict
+// round-robin: round r serves positions 0..n-1 in order, and every due in
+// round r precedes every due in round r+1.
+func (wk *worker) runCalendar(t *simos.Thread, limit int32) bool {
+	n := int32(len(wk.due))
+	for r := int32(0); r < limit; r++ {
+		for i := int32(0); i < n; i++ {
+			if !wk.runOne(t, i) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// runFIFO serves the closed-loop zero-think case from a ring, O(1) per
+// pick: a served client's next due is its completion time, which simulated
+// -time monotonicity puts at or past every other owned client's due, so the
+// earliest-due client is the least recently served one. Every re-append is
+// guarded — the new key must follow the ring's back in (due, position)
+// order, which only an op completing in zero simulated time can violate —
+// and on violation the remaining picks fall back to the heap; picks made
+// before the fallback were already correct.
+func (wk *worker) runFIFO(t *simos.Thread, limit int32) bool {
+	wk.fifo.reset(int32(len(wk.due)))
+	for wk.fifo.size > 0 {
+		i := wk.fifo.pop()
+		if !wk.runOne(t, i) {
+			return false
+		}
+		if wk.done[i] >= limit {
+			continue
+		}
+		if wk.fifo.size > 0 {
+			back := wk.fifo.back()
+			if d, bd := wk.due[i], wk.due[back]; d < bd || d == bd && i < back {
+				wk.fifo.push(i)
+				wk.heap.due = wk.due
+				wk.heap.idx = wk.fifo.drain(wk.heap.idx[:0])
+				wk.heap.heapify()
+				return wk.heapLoop(t, limit)
+			}
+		}
+		wk.fifo.push(i)
+	}
+	return true
+}
+
+// heapLoop serves from the 4-ary heap: peek the minimum, run it, then
+// either drop it (quota reached) or sift its advanced due time back down —
+// one O(log4 owned) fix per op.
+func (wk *worker) heapLoop(t *simos.Thread, limit int32) bool {
+	for wk.heap.len() > 0 {
+		i := wk.heap.min()
+		if !wk.runOne(t, i) {
+			return false
+		}
+		if wk.done[i] >= limit {
+			wk.heap.popMin()
+		} else {
+			wk.heap.fixMin()
+		}
+	}
+	return true
+}
+
 // RunScenario drives cfg against target from main, spawning the pool,
 // running the warmup phase, opening the measurement window at a pool-wide
 // barrier, and collecting the measured ops. The returned result depends only
@@ -181,121 +479,46 @@ func RunScenario(main *simos.Thread, target Target, cfg ScenarioConfig) (Scenari
 		return ScenarioResult{}, err
 	}
 
-	lm := newLiveMetrics(cfg.Obs)
 	eventEvery := cfg.EventEvery
 	if eventEvery == 0 {
 		eventEvery = defaultEventEvery
 	}
-	totalOps := int64(cfg.Clients) * int64(cfg.MeasureOps)
+	sc := &scenario{
+		cfg:        &cfg,
+		target:     target,
+		lm:         newLiveMetrics(cfg.Obs),
+		lat:        res.Lat,
+		pool:       pool,
+		readMax:    cfg.Mix.Read,
+		updMax:     cfg.Mix.Read + cfg.Mix.Update,
+		eventEvery: int64(eventEvery),
+		totalOps:   int64(cfg.Clients) * int64(cfg.MeasureOps),
+	}
 
-	// Per-worker tallies, merged by position after the join so the result
+	// Per-worker state, merged by position after the join so the result
 	// never depends on worker completion order.
-	perWorker := make([][NumOpKinds]int64, pool)
-	var winStart sim.Time
-	// measuredSoFar feeds progress events only; pool threads interleave
-	// cooperatively within one simulation kernel, so plain increments are
-	// race-free.
-	var measuredSoFar int64
-	var firstErr error
+	ws := make([]worker, pool)
+
+	// Build pool thread names by appending to one shared prefix buffer —
+	// no per-thread fmt.Sprintf.
+	nameBuf := make([]byte, 0, len(cfg.Name)+len("-pool-")+20)
+	nameBuf = append(nameBuf, cfg.Name...)
+	nameBuf = append(nameBuf, "-pool-"...)
 
 	workers := make([]*simos.Thread, 0, pool)
 	for w := 0; w < pool; w++ {
-		w := w
-		th, err := main.CreateThread(fmt.Sprintf("%s-pool-%d", cfg.Name, w), func(t *simos.Thread) {
-			// Build the owned clients: c == w (mod pool), merged by position.
-			var owned []*client
-			for c := w; c < cfg.Clients; c += pool {
-				owned = append(owned, &client{gen: NewClientGen(cfg.Seed, c, cfg.Keys, cfg.Mix)})
-			}
-			// mStart is this worker's measurement-phase start, for progress
-			// events (the assembled result uses the barrier's window).
-			var mStart sim.Time
-			// runOne executes the client's next op, recording its latency
-			// when the measurement window is open.
-			runOne := func(cl *client, record bool) bool {
-				now := t.Now()
-				if cl.due > now {
-					if err := t.Nanosleep(cl.due - now); err != nil {
-						// No signals are used; an interrupt is a bug.
-						t.Failf("workload: %v", err)
-					}
-				}
-				op := cl.gen.Next()
-				if err := applyOp(t, target, op, cfg.Mix.ScanLen, uint64(cl.done)); err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					return false
-				}
-				end := t.Now()
-				if record {
-					lat := int64((end - cl.due) / sim.Nanosecond)
-					res.Lat.All.Observe(lat)
-					res.Lat.Kind[op.Kind].Observe(lat)
-					perWorker[w][op.Kind]++
-					if lm != nil {
-						lm.allCount.Add(1)
-						lm.allLat.Observe(lat)
-						lm.kindCount[op.Kind].Add(1)
-						lm.kindLat[op.Kind].Observe(lat)
-					}
-					measuredSoFar++
-					if eventEvery > 0 && measuredSoFar%int64(eventEvery) == 0 {
-						publishProgress(cfg, measuredSoFar, totalOps, end-mStart, res.Lat)
-					}
-				}
-				cl.done++
-				if cfg.ArrivalPeriod > 0 {
-					cl.due += cfg.ArrivalPeriod
-				} else {
-					cl.due = end + cfg.ThinkTime
-				}
-				return true
-			}
-			// runPhase serves whichever owned client is due next (ties to
-			// the lowest position), one op per pick, until every one has
-			// done limit ops.
-			runPhase := func(limit int, record bool) bool {
-				start := t.Now()
-				if record {
-					mStart = start
-				}
-				for i, cl := range owned {
-					cl.done = 0
-					if cfg.ArrivalPeriod > 0 {
-						// Phase-stagger the open-loop schedules so arrivals
-						// spread over the period instead of thundering in
-						// herds. The global client index keeps the schedule
-						// independent of the pool size.
-						c := w + i*pool
-						cl.due = start + cfg.ArrivalPeriod*sim.Time(c)/sim.Time(cfg.Clients)
-					} else {
-						cl.due = start
-					}
-				}
-				for {
-					var next *client
-					for _, cl := range owned {
-						if cl.done < limit && (next == nil || cl.due < next.due) {
-							next = cl
-						}
-					}
-					if next == nil {
-						return true
-					}
-					if !runOne(next, record) {
-						return false
-					}
-				}
-			}
+		wk := &ws[w]
+		wk.sc, wk.w = sc, w
+		th, err := main.CreateThread(string(strconv.AppendInt(nameBuf, int64(w), 10)), func(t *simos.Thread) {
+			wk.init()
 			// Warmup, then rendezvous: the window opens only after every
 			// pool thread has finished warming up.
-			warmOK := runPhase(cfg.WarmupOps, false)
+			warmOK := wk.runPhase(t, int32(cfg.WarmupOps), false)
 			bar.Wait(t)
 			if !warmOK {
 				return
 			}
-			runPhase(cfg.MeasureOps, true)
+			wk.runPhase(t, int32(cfg.MeasureOps), true)
 			if cfg.CloseEpoch != nil {
 				cfg.CloseEpoch(t)
 			}
@@ -313,7 +536,7 @@ func RunScenario(main *simos.Thread, target Target, cfg ScenarioConfig) (Scenari
 		cfg.CloseEpoch(main)
 	}
 	bar.Wait(main)
-	winStart = main.Now()
+	winStart := main.Now()
 
 	var end sim.Time
 	for _, th := range workers {
@@ -322,12 +545,12 @@ func RunScenario(main *simos.Thread, target Target, cfg ScenarioConfig) (Scenari
 			end = th.Now()
 		}
 	}
-	if firstErr != nil {
-		return ScenarioResult{}, firstErr
+	if sc.firstErr != nil {
+		return ScenarioResult{}, sc.firstErr
 	}
 	res.CT = end - winStart
-	for w := range perWorker {
-		for k, n := range perWorker[w] {
+	for w := range ws {
+		for k, n := range ws[w].counts {
 			res.Counts[k] += n
 			res.Ops += n
 		}
@@ -335,7 +558,7 @@ func RunScenario(main *simos.Thread, target Target, cfg ScenarioConfig) (Scenari
 	if secs := res.CT.Seconds(); secs > 0 {
 		res.OpsPerSec = float64(res.Ops) / secs
 	}
-	publishProgress(cfg, res.Ops, totalOps, res.CT, res.Lat)
+	publishProgress(cfg, res.Ops, sc.totalOps, res.CT, res.Lat.All.Quantile(0.99))
 	return res, nil
 }
 
@@ -355,7 +578,7 @@ func applyOp(t *simos.Thread, target Target, op Op, scanLen int, val uint64) err
 
 // publishProgress emits one "traffic" event (and refreshes the live traffic
 // gauges) when a recorder is attached.
-func publishProgress(cfg ScenarioConfig, done, total int64, elapsed sim.Time, lat *Latencies) {
+func publishProgress(cfg ScenarioConfig, done, total int64, elapsed sim.Time, p99 float64) {
 	if cfg.Obs == nil || cfg.EventEvery < 0 {
 		return
 	}
@@ -364,5 +587,5 @@ func publishProgress(cfg ScenarioConfig, done, total int64, elapsed sim.Time, la
 		opsPerSec = float64(done) / secs
 	}
 	cfg.Obs.TrafficProgress(cfg.Name, cfg.Mix.Name, cfg.Clients, done, total,
-		opsPerSec, lat.All.Quantile(0.99))
+		opsPerSec, p99)
 }

@@ -177,12 +177,21 @@ func NewClientGen(seed uint64, c int, keys KeyDist, mix Mix) ClientGen {
 // Next generates the client's next operation: one key draw, then one op-kind
 // draw (the same draw order as the validation workload).
 func (g *ClientGen) Next() Op {
-	op := Op{Key: g.keys.Key(&g.r)}
-	v := int(g.r.Next() % 1000)
+	return nextOp(&g.r, g.keys, g.mix.Read, g.mix.Read+g.mix.Update)
+}
+
+// nextOp is the generation step over externally held generator state — the
+// engine keeps one inline LCG per client in a flat slice and shares the key
+// distribution and the mix's cumulative per-mille thresholds (readMax =
+// Read, updMax = Read+Update) scenario-wide. Draw order (key, then kind) is
+// the validation workload's, bit for bit.
+func nextOp(r *LCG, keys KeyDist, readMax, updMax int) Op {
+	op := Op{Key: keys.Key(r)}
+	v := int(r.Next() % 1000)
 	switch {
-	case v < g.mix.Read:
+	case v < readMax:
 		op.Kind = OpRead
-	case v < g.mix.Read+g.mix.Update:
+	case v < updMax:
 		op.Kind = OpUpdate
 	default:
 		op.Kind = OpScan

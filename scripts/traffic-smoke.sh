@@ -68,6 +68,24 @@ if ! grep -q "knee" "$workdir/stdout.log"; then
 fi
 echo "traffic-smoke: SLO report well formed"
 
+# The large-client smoke point: traffic-mega at quick scale pushes the
+# engine's flat client state and O(1) scheduling to 16k clients per scenario
+# (64x the quick sweep's largest point) and must still finish in seconds.
+echo "traffic-smoke: traffic-mega large-client point"
+"$workdir/quartzbench" -exp traffic-mega -scale quick >"$workdir/mega.log" 2>&1 || {
+    echo "traffic-smoke: traffic-mega failed" >&2
+    cat "$workdir/mega.log" >&2
+    exit 1
+}
+for clients in 4096 16384; do
+    if ! grep -q "^$clients " "$workdir/mega.log"; then
+        echo "traffic-smoke: traffic-mega table missing clients=$clients row" >&2
+        cat "$workdir/mega.log" >&2
+        exit 1
+    fi
+done
+echo "traffic-smoke: traffic-mega OK"
+
 echo "traffic-smoke: probing $addr"
 "$workdir/quartztop" -addr "$addr" -once | tee "$workdir/probe.log"
 if ! grep -q "^traffic: " "$workdir/probe.log"; then
