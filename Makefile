@@ -5,7 +5,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build vet test bench-quick bench bench-alloc bench-compare bench-smoke serve-smoke traffic-smoke full-results docs-check ci
+.PHONY: all build vet test bench-quick bench bench-alloc bench-compare bench-smoke serve-smoke traffic-smoke asym-smoke full-results docs-check ci
 
 all: vet test
 
@@ -27,7 +27,7 @@ docs-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
-ci: docs-check test bench-alloc bench-smoke serve-smoke traffic-smoke
+ci: docs-check test bench-alloc bench-smoke serve-smoke traffic-smoke asym-smoke
 
 # serve-smoke end-to-end checks the live introspection plane: quartzbench
 # -serve on an ephemeral port with a streaming ledger sink, probed by
@@ -40,6 +40,14 @@ serve-smoke:
 # report, live traffic metrics on the probe, and a dense streamed ledger.
 traffic-smoke:
 	sh scripts/traffic-smoke.sh
+
+# asym-smoke end-to-end checks the asymmetric read/write model: both
+# calibrated-profile sweeps must diverge in the documented directions
+# (Optane W/R < 1 with a bandwidth collapse past 4 writers, PCM W/R > 1),
+# the -write-latency/-nvm-profile overrides must land, and bad values must
+# exit 2 upfront. The store-stall 0-alloc gate runs under bench-alloc.
+asym-smoke:
+	sh scripts/asym-smoke.sh
 
 # bench-quick regenerates two representative artifacts on the parallel
 # runner — a fast smoke test of the whole stack — and runs the hot-path

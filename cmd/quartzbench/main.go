@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"github.com/quartz-emu/quartz/internal/experiments"
+	"github.com/quartz-emu/quartz/internal/machine"
 	"github.com/quartz-emu/quartz/internal/obs"
 	"github.com/quartz-emu/quartz/internal/obs/obshttp"
 	"github.com/quartz-emu/quartz/internal/runner"
@@ -79,6 +80,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trafClients  = fs.String("traffic-clients", "", "comma-separated client counts overriding the scale's traffic-* sweep (e.g. 64,256,1024)")
 		trafMixes    = fs.String("traffic-mixes", "", "comma-separated mix presets overriding the scale's traffic-* sweep (read-mostly, write-heavy, scan-blend)")
 		trafPool     = fs.Int("traffic-pool", 0, "serving pool threads per traffic scenario, overriding the scale (0 = scale default)")
+		writeLat     = fs.Float64("write-latency", 0, "NVM write-latency override in ns for the asymmetric experiments (0 = profile default)")
+		nvmProf      = fs.String("nvm-profile", "", "comma-separated NVM profile names narrowing the asymmetric sweeps (e.g. optane-dcpmm,pcm)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -114,6 +117,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	scale.TrialParallel = *trialPar
 	if err := applyTrafficOverrides(&scale, *trafClients, *trafMixes, *trafPool); err != nil {
+		fmt.Fprintf(stderr, "quartzbench: %v\n", err)
+		return 2
+	}
+	if err := applyAsymOverrides(&scale, *writeLat, *nvmProf); err != nil {
 		fmt.Fprintf(stderr, "quartzbench: %v\n", err)
 		return 2
 	}
@@ -358,6 +365,30 @@ func applyTrafficOverrides(scale *experiments.Scale, clientsCSV, mixesCSV string
 		return fmt.Errorf("-traffic-pool %d: must be >= 0 (0 = scale default)", pool)
 	case pool > 0:
 		scale.TrafficPool = pool
+	}
+	return nil
+}
+
+// applyAsymOverrides narrows the asymmetric-model sweep from the
+// -write-latency / -nvm-profile flags, resolving every profile name against
+// the machine registry upfront so a typo fails before any experiment runs.
+func applyAsymOverrides(scale *experiments.Scale, writeLatNS float64, profilesCSV string) error {
+	if writeLatNS < 0 {
+		return fmt.Errorf("-write-latency %g: must be >= 0 ns (0 = profile default)", writeLatNS)
+	}
+	if writeLatNS > 0 {
+		scale.AsymWriteLatNS = writeLatNS
+	}
+	if profilesCSV != "" {
+		var profs []string
+		for _, s := range strings.Split(profilesCSV, ",") {
+			name := strings.TrimSpace(s)
+			if _, err := machine.NVMProfileByName(name); err != nil {
+				return fmt.Errorf("-nvm-profile: %v", err)
+			}
+			profs = append(profs, name)
+		}
+		scale.AsymProfiles = profs
 	}
 	return nil
 }

@@ -205,3 +205,51 @@ func TestNoObservabilityFlagsWritesNothing(t *testing.T) {
 		t.Errorf("observability output leaked without flags:\n%s", stdout)
 	}
 }
+
+// TestAsymFlagValidation: bad -write-latency / -nvm-profile values must fail
+// upfront (exit 2) before any experiment runs, and the profile error must
+// name the known profiles.
+func TestAsymFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-exp", "fig12-asym", "-write-latency", "-5"},
+		{"-exp", "fig12-asym", "-nvm-profile", "xpoint"},
+		{"-exp", "fig11-asym", "-nvm-profile", "optane-dcpmm,bogus"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Errorf("%v: exit = %d, want 2", args, code)
+		}
+	}
+	_, _, stderr := runCLI(t, "-exp", "fig12-asym", "-nvm-profile", "nope")
+	if !strings.Contains(stderr, "optane-dcpmm") || !strings.Contains(stderr, "pcm") {
+		t.Errorf("profile error does not name known profiles: %q", stderr)
+	}
+}
+
+// TestAsymOverrides applies the asymmetric-model flags to the scale.
+func TestAsymOverrides(t *testing.T) {
+	s := experiments.Quick
+	if err := applyAsymOverrides(&s, 680, "pcm, optane-dcpmm"); err != nil {
+		t.Fatal(err)
+	}
+	if s.AsymWriteLatNS != 680 {
+		t.Errorf("AsymWriteLatNS = %g, want 680", s.AsymWriteLatNS)
+	}
+	if len(s.AsymProfiles) != 2 || s.AsymProfiles[0] != "pcm" || s.AsymProfiles[1] != "optane-dcpmm" {
+		t.Errorf("AsymProfiles = %v", s.AsymProfiles)
+	}
+	// Empty flags leave the scale untouched.
+	s2 := experiments.Quick
+	if err := applyAsymOverrides(&s2, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	if s2.AsymWriteLatNS != 0 || len(s2.AsymProfiles) != len(experiments.Quick.AsymProfiles) {
+		t.Errorf("empty override changed the scale: lat=%g profiles=%v", s2.AsymWriteLatNS, s2.AsymProfiles)
+	}
+	if err := applyAsymOverrides(&s2, -1, ""); err == nil {
+		t.Error("negative -write-latency accepted")
+	}
+	if err := applyAsymOverrides(&s2, 0, "optane-dcpmm,"); err == nil {
+		t.Error("empty profile name accepted")
+	}
+}

@@ -52,6 +52,8 @@ type flags struct {
 	nvmLatNS    float64
 	nvmBW       float64
 	writeNS     float64
+	nvmWriteNS  float64
+	nvmProfile  string
 	threads     int
 	iters       int
 	lines       int
@@ -80,6 +82,8 @@ func run() int {
 	flag.Float64Var(&f.nvmLatNS, "nvm-lat", 500, "target NVM latency (ns)")
 	flag.Float64Var(&f.nvmBW, "nvm-bw", 0, "NVM bandwidth cap (bytes/s, 0 = unthrottled)")
 	flag.Float64Var(&f.writeNS, "write-lat", 0, "pflush write delay (ns, 0 = NVM-DRAM gap)")
+	flag.Float64Var(&f.nvmWriteNS, "nvm-write", 0, "target NVM store latency (ns) for the asymmetric store model (0 = symmetric)")
+	flag.StringVar(&f.nvmProfile, "nvm-profile", "", "calibrated NVM profile (e.g. optane-dcpmm, pcm): sets read/write latency, bandwidth and access granularity")
 	flag.IntVar(&f.threads, "threads", 1, "worker threads")
 	flag.IntVar(&f.iters, "iters", 100_000, "iterations / operations")
 	flag.IntVar(&f.lines, "lines", 1<<20, "working-set cache lines")
@@ -100,11 +104,33 @@ func run() int {
 	flag.Int64Var(&f.ledgerRotMB, "ledger-rotate-mb", 0, "rotate the ledger sink file after this many MiB (0 = never)")
 	flag.Parse()
 
+	// Asymmetric-model flags are validated upfront like flag-parse errors
+	// (exit 2): a typo'd profile name or negative latency must fail in
+	// milliseconds, before any environment is built.
+	if err := validateAsymFlags(f); err != nil {
+		fmt.Fprintf(os.Stderr, "quartzrun: %v\n", err)
+		return 2
+	}
+
 	if err := execute(f); err != nil {
 		fmt.Fprintf(os.Stderr, "quartzrun: %v\n", err)
 		return 1
 	}
 	return 0
+}
+
+// validateAsymFlags rejects invalid -nvm-write / -nvm-profile values before
+// anything runs; the profile error names the known profiles.
+func validateAsymFlags(f flags) error {
+	if f.nvmWriteNS < 0 {
+		return fmt.Errorf("-nvm-write %g: must be >= 0 ns (0 = symmetric model)", f.nvmWriteNS)
+	}
+	if f.nvmProfile != "" {
+		if _, err := machine.NVMProfileByName(f.nvmProfile); err != nil {
+			return fmt.Errorf("-nvm-profile: %w", err)
+		}
+	}
+	return nil
 }
 
 func parsePreset(s string) (machine.Preset, error) {
@@ -193,6 +219,26 @@ func execute(f flags) error {
 		}
 	}
 
+	// Asymmetric store model: a profile overlays calibrated read/write
+	// latencies, bandwidth caps, the write-collapse curve and the device
+	// access granularity; -nvm-write then overrides the store latency alone.
+	// Both apply after -config so a loaded ini can be narrowed per run.
+	var mc *machine.Config
+	if f.nvmProfile != "" {
+		prof, _ := machine.NVMProfileByName(f.nvmProfile) // validated upfront
+		q.NVMLatency = prof.ReadLatency
+		q.NVMWriteLatency = prof.WriteLatency
+		q.NVMBandwidth = prof.ReadBandwidth
+		q.NVMWriteBandwidth = prof.WriteBandwidth
+		q.WriteBandwidthByThreads = prof.WriteBandwidthByThreads
+		c := machine.PresetConfig(preset)
+		prof.ApplyToMem(&c)
+		mc = &c
+	}
+	if f.nvmWriteNS > 0 {
+		q.NVMWriteLatency = sim.FromNanos(f.nvmWriteNS)
+	}
+
 	// Observability: the recorder is installed as the process-global
 	// default so the emulator bench.NewEnv attaches picks it up.
 	var rec *obs.Recorder
@@ -224,7 +270,7 @@ func execute(f flags) error {
 	}
 
 	env, err := bench.NewEnv(bench.EnvConfig{
-		Preset: preset, Mode: mode, Quartz: q,
+		Preset: preset, Machine: mc, Mode: mode, Quartz: q,
 		Lookahead: 2 * sim.Microsecond,
 	})
 	if err != nil {
@@ -244,6 +290,9 @@ func execute(f flags) error {
 		st := env.Emu.Stats()
 		fmt.Printf("\nemulator stats: epochs=%d (max=%d sync=%d) injected=%v overhead=%v\n",
 			st.Epochs, st.MaxEpochs, st.SyncEpochs, st.Injected, st.Overhead)
+		if env.Emu.Config().NVMWriteLatency > 0 {
+			fmt.Printf("store model: store-misses=%d write-delay=%v\n", st.StoreMisses, st.WriteDelay)
+		}
 		fmt.Printf("feedback: %s\n", st.Suggestion())
 	}
 

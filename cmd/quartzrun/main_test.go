@@ -151,3 +151,43 @@ func TestExecuteStreamsLedger(t *testing.T) {
 		}
 	}
 }
+
+// TestValidateAsymFlags: the asymmetric-model flags are validated upfront
+// (run() exits 2), and the profile error must name the known profiles so a
+// typo fails helpfully.
+func TestValidateAsymFlags(t *testing.T) {
+	if err := validateAsymFlags(flags{}); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if err := validateAsymFlags(flags{nvmWriteNS: 680, nvmProfile: "optane-dcpmm"}); err != nil {
+		t.Fatalf("valid asym flags rejected: %v", err)
+	}
+	if err := validateAsymFlags(flags{nvmWriteNS: -1}); err == nil {
+		t.Error("negative -nvm-write accepted")
+	}
+	err := validateAsymFlags(flags{nvmProfile: "xpoint"})
+	if err == nil {
+		t.Fatal("unknown -nvm-profile accepted")
+	}
+	for _, name := range machine.NVMProfileNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("profile error %q does not name %q", err, name)
+		}
+	}
+}
+
+// TestExecuteAsymProfileRun: a small run under a calibrated NVM profile must
+// succeed end to end — the profile's store latency, bandwidth caps and
+// access granularity all flow into the environment, and -nvm-write narrows
+// the store latency on top.
+func TestExecuteAsymProfileRun(t *testing.T) {
+	f := flags{
+		workload: "memlat", preset: "ivybridge", mode: "emulated",
+		nvmLatNS: 300, threads: 1, iters: 2_000, lines: 1 << 15,
+		minEpoch: 0.05, maxEpoch: 0.5, modelStr: "stall",
+		nvmProfile: "pcm", nvmWriteNS: 900,
+	}
+	if err := execute(f); err != nil {
+		t.Fatalf("execute under -nvm-profile pcm: %v", err)
+	}
+}

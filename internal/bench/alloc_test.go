@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/quartz-emu/quartz/internal/machine"
+	"github.com/quartz-emu/quartz/internal/sim"
 	"github.com/quartz-emu/quartz/internal/simos"
 )
 
@@ -51,6 +52,62 @@ func TestEmulatedHotPathNoAllocs(t *testing.T) {
 			e.CloseEpoch(th)
 		}); allocs != 0 {
 			t.Errorf("steady-state epoch close: %v allocs/op, want 0", allocs)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsymStorePathNoAllocs extends the allocation gate to the asymmetric
+// store model: with NVMWriteLatency set, every epoch close additionally
+// reads the store counters, evaluates the write-stall term, and records the
+// split delay — and the steady state must still produce zero garbage, both
+// for the store+flush stream and for the close itself. This is what `make
+// bench-alloc` holds the store-stall path to.
+func TestAsymStorePathNoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	q := quickQuartz(400)
+	q.NVMWriteLatency = sim.FromNanos(700) // above DRAM, so the term injects
+	env, err := NewEnv(EnvConfig{Preset: machine.XeonE5_2450, Mode: Emulated, Quartz: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lines = 1 << 12
+	base, err := env.Proc.MallocOnNode(lines*64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Run(func(e *Env, th *simos.Thread) {
+		for i := 0; i < 8; i++ {
+			th.StoreRun(base, 64, lines)
+			e.CloseEpoch(th)
+		}
+		if allocs := testing.AllocsPerRun(20, func() {
+			th.StoreRun(base, 64, lines)
+		}); allocs != 0 {
+			t.Errorf("steady-state StoreRun under the store model: %v allocs/op, want 0", allocs)
+		}
+		if allocs := testing.AllocsPerRun(50, func() {
+			th.StoreRun(base, 64, 512) // accrue store misses so the close injects Δw
+			e.CloseEpoch(th)
+		}); allocs != 0 {
+			t.Errorf("steady-state asymmetric epoch close: %v allocs/op, want 0", allocs)
+		}
+		if allocs := testing.AllocsPerRun(20, func() {
+			addr := base
+			var fence sim.Time
+			for i := 0; i < 64; i++ {
+				th.Store(addr)
+				if done := th.FlushOpt(addr); done > fence {
+					fence = done
+				}
+				addr += 64
+			}
+			th.Fence(fence)
+		}); allocs != 0 {
+			t.Errorf("steady-state store+flushopt+fence batch: %v allocs/op, want 0", allocs)
 		}
 	}); err != nil {
 		t.Fatal(err)

@@ -67,6 +67,15 @@ type Config struct {
 	// bandwidth is generally below read bandwidth, §2.1); zero follows
 	// NVMBandwidth.
 	NVMWriteBandwidth float64
+	// WriteBandwidthByThreads, when non-empty, is the write-bandwidth
+	// collapse curve of the asymmetric model (machine.NVMProfile): entry i
+	// is the aggregate write-bandwidth target in bytes/sec with i+1
+	// registered application threads; counts beyond the table clamp to the
+	// last entry. Each thread registration reprograms the write throttle
+	// through the same token-bucket path NVMWriteBandwidth uses, so write
+	// bandwidth degrades as writer concurrency grows — the Empirical
+	// Guide's Optane behavior. Empty leaves the throttle static.
+	WriteBandwidthByThreads []float64
 	// MaxEpoch is the static maximum epoch length enforced by the monitor
 	// thread (default 10 ms, the paper's choice).
 	MaxEpoch sim.Time
@@ -93,6 +102,16 @@ type Config struct {
 	// WriteLatency is the extra delay PFlush injects to emulate a slower
 	// NVM write; zero defaults to NVMLatency - DRAMLatency.
 	WriteLatency sim.Time
+	// NVMWriteLatency is the target emulated NVM *store* latency of the
+	// asymmetric read/write model (Koshiba et al., see doc/asymmetry.md).
+	// When positive, the emulator additionally programs the store-side
+	// counters and injects a count-based write-stall term
+	// Δw = store_misses · (NVMWriteLatency − DRAM_lat) on the same epoch
+	// boundaries as the read delay. Zero (the default) disables the store
+	// model entirely: no store counters are read, the per-epoch counter
+	// read cost is unchanged, and emulation is byte-identical to the
+	// symmetric read-only model.
+	NVMWriteLatency sim.Time
 	// InitCycles models the library's initialization cost (§3.2 reports
 	// ~5.5 billion cycles). Charged to the main thread before it runs.
 	InitCycles int64
@@ -170,6 +189,14 @@ func (c Config) Validate() error {
 	}
 	if c.NVMWriteBandwidth < 0 {
 		return fmt.Errorf("core: NVMWriteBandwidth %g negative", c.NVMWriteBandwidth)
+	}
+	if c.NVMWriteLatency < 0 {
+		return fmt.Errorf("core: NVMWriteLatency %v negative", c.NVMWriteLatency)
+	}
+	for i, bw := range c.WriteBandwidthByThreads {
+		if bw <= 0 {
+			return fmt.Errorf("core: WriteBandwidthByThreads[%d] = %g, must be positive", i, bw)
+		}
 	}
 	return nil
 }

@@ -50,6 +50,8 @@ type threadState struct {
 	syncEpochs    int64
 	injected      sim.Time
 	wouldInject   sim.Time
+	writeDelaySum sim.Time // store-model delay computed (asymmetric mode)
+	storeMisses   int64    // store misses observed across closed epochs
 	overhead      sim.Time
 	carry         sim.Time // accumulated not-yet-amortized overhead
 	epochLenSum   sim.Time
@@ -68,6 +70,15 @@ type Emulator struct {
 	params   modelParams
 	nvmNode  int
 	writeLat sim.Time
+	// asym is true when the store-side write model is active
+	// (NVMWriteLatency > 0): store counters are programmed, read on every
+	// epoch close (adding their read cost), and the write-stall term joins
+	// the injected delay. False keeps the epoch path bit-identical to the
+	// symmetric read-only model.
+	asym bool
+	// bwSockets are the sockets the bandwidth throttles target (the NVM
+	// node in two-memory mode, every socket otherwise).
+	bwSockets []int
 	// epochCostCycles is the fixed per-close processing cost (counter reads
 	// plus epoch logic), hoisted out of endEpoch at Attach time: the event
 	// set, counter mode and logic cost are all fixed for the emulator's
@@ -146,21 +157,25 @@ func Attach(proc *simos.Process, cfg Config) (*Emulator, error) {
 	}
 	km.EnableUserRDPMC()
 
+	// Sockets whose controllers the bandwidth throttles target: the NVM
+	// node in two-memory mode, every socket otherwise. The write-collapse
+	// curve reprograms the same set per thread registration.
+	var bwSockets []int
+	if cfg.TwoMemory {
+		bwSockets = []int{nvmNode}
+	} else {
+		for s := range mach.Sockets() {
+			bwSockets = append(bwSockets, s)
+		}
+	}
+
 	if cfg.NVMBandwidth > 0 || cfg.NVMWriteBandwidth > 0 {
 		readBW := cfg.NVMBandwidth
 		writeBW := cfg.NVMWriteBandwidth
 		if writeBW == 0 {
 			writeBW = readBW // symmetric throttling by default
 		}
-		var sockets []int
-		if cfg.TwoMemory {
-			sockets = []int{nvmNode}
-		} else {
-			for s := range mach.Sockets() {
-				sockets = append(sockets, s)
-			}
-		}
-		for _, s := range sockets {
+		for _, s := range bwSockets {
 			if readBW > 0 {
 				reg, err := km.ThrottleForBandwidth(s, readBW)
 				if err != nil {
@@ -187,24 +202,37 @@ func Attach(proc *simos.Process, cfg Config) (*Emulator, error) {
 		writeLat = cfg.NVMLatency - dramLat
 	}
 
+	// The asymmetric store model programs extra counters, so its per-close
+	// read cost grows with the store event set — but only when enabled, so
+	// a symmetric configuration's epoch cost (and therefore its amortization
+	// arithmetic and golden tables) is untouched.
+	asym := cfg.NVMWriteLatency > 0
+	nEvents := len(perf.EventsFor(mach.Family()))
+	if asym {
+		nEvents += len(perf.StoreEventsFor(mach.Family()))
+	}
+
 	e := &Emulator{
 		proc: proc,
 		mach: mach,
 		cfg:  cfg,
 		km:   km,
 		params: modelParams{
-			model:     cfg.Model,
-			nvmLat:    cfg.NVMLatency,
-			dramLat:   dramLat,
-			l3Lat:     mcfg.L1.LookupLat + mcfg.L2.LookupLat + mcfg.L3.LookupLat,
-			localLat:  mcfg.LocalLat,
-			remoteLat: mcfg.RemoteLat,
-			freqHz:    mcfg.Core.FreqHz,
-			twoMemory: cfg.TwoMemory,
+			model:       cfg.Model,
+			nvmLat:      cfg.NVMLatency,
+			nvmWriteLat: cfg.NVMWriteLatency,
+			dramLat:     dramLat,
+			l3Lat:       mcfg.L1.LookupLat + mcfg.L2.LookupLat + mcfg.L3.LookupLat,
+			localLat:    mcfg.LocalLat,
+			remoteLat:   mcfg.RemoteLat,
+			freqHz:      mcfg.Core.FreqHz,
+			twoMemory:   cfg.TwoMemory,
 		},
-		nvmNode:  nvmNode,
-		writeLat: writeLat,
-		epochCostCycles: perf.ReadCostCycles(cfg.CounterMode, len(perf.EventsFor(mach.Family()))) +
+		nvmNode:   nvmNode,
+		writeLat:  writeLat,
+		asym:      asym,
+		bwSockets: bwSockets,
+		epochCostCycles: perf.ReadCostCycles(cfg.CounterMode, nEvents) +
 			cfg.EpochLogicCycles,
 		byThread: make(map[*simos.Thread]*threadState),
 	}
@@ -305,6 +333,33 @@ func (e *Emulator) register(t *simos.Thread) {
 	ts.snapshot = e.readCountersRaw(t)
 	e.threads = append(e.threads, ts)
 	e.byThread[t] = ts
+	if len(e.cfg.WriteBandwidthByThreads) > 0 {
+		e.reprogramWriteThrottle(t, len(e.threads))
+	}
+}
+
+// reprogramWriteThrottle applies the write-bandwidth collapse curve for the
+// given registered-thread count: the curve's target (clamped to its ends)
+// is translated to a throttle register and written to every NVM-throttled
+// socket, through the same token-bucket path static bandwidth caps use.
+func (e *Emulator) reprogramWriteThrottle(t *simos.Thread, writers int) {
+	curve := e.cfg.WriteBandwidthByThreads
+	if writers < 1 {
+		writers = 1
+	}
+	if writers > len(curve) {
+		writers = len(curve)
+	}
+	target := curve[writers-1]
+	for _, s := range e.bwSockets {
+		reg, err := e.km.ThrottleForBandwidth(s, target)
+		if err != nil {
+			t.Failf("core: write-collapse throttle for socket %d: %v", s, err)
+		}
+		if err := e.km.SetWriteThrottle(s, reg); err != nil {
+			t.Failf("core: programming write throttle on socket %d: %v", s, err)
+		}
+	}
 }
 
 // onSyncEvent closes the current epoch before an inter-thread communication
@@ -388,6 +443,15 @@ func (e *Emulator) readCountersRaw(t *simos.Thread) counterSample {
 	} else {
 		s.l3MissLoc = read(perf.EventL3Miss)
 	}
+	if e.asym {
+		s.stores = read(perf.EventStoresRetired)
+		if perf.SplitsLocalRemote(ctr.Family()) {
+			s.storeMissLoc = read(perf.EventStoreMissLocal)
+			s.storeMissRem = read(perf.EventStoreMissRemote)
+		} else {
+			s.storeMissLoc = read(perf.EventStoreMiss)
+		}
+	}
 	return s
 }
 
@@ -408,6 +472,18 @@ func (e *Emulator) endEpoch(ts *threadState, reason epochReason) {
 	sample := e.readCountersRaw(t)
 	delta := sample.delta(ts.snapshot)
 	delay := e.params.delay(delta)
+
+	// Asymmetric store model: the write-stall term joins the read delay and
+	// is injected in the same spin, so virtual time stays coherent across
+	// both models. delay stays the combined total through the amortization
+	// arithmetic below; writeDelay is recorded separately in the ledger.
+	var writeDelay sim.Time
+	if e.asym {
+		writeDelay = e.params.writeDelay(delta)
+		delay += writeDelay
+		ts.writeDelaySum += writeDelay
+		ts.storeMisses += int64(delta.storeMisses())
+	}
 
 	ts.epochs++
 	switch reason {
@@ -469,7 +545,11 @@ func (e *Emulator) endEpoch(ts *threadState, reason epochReason) {
 			L3MissLocal:    delta.l3MissLoc,
 			L3MissRemote:   delta.l3MissRem,
 			LDMStallCycles: e.params.observedStall(delta),
+			Stores:         delta.stores,
+			StoreMissLocal: delta.storeMissLoc,
+			StoreMissRem:   delta.storeMissRem,
 			Delay:          delay,
+			WriteDelay:     writeDelay,
 			Injected:       injected,
 			InjectStart:    injStart,
 			InjectEnd:      injEnd,

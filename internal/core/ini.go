@@ -20,6 +20,7 @@ import (
 //	enable = true      ; false leaves read latency unemulated
 //	read   = 500       ; target NVM read latency, ns
 //	write  = 700       ; pflush write delay, ns (0 = read - DRAM gap)
+//	nvm_write = 0      ; asymmetric store-model NVM write latency, ns (0 = off)
 //	dram   = 0         ; DRAM baseline override, ns (0 = machine-calibrated)
 //
 //	[bandwidth]
@@ -54,7 +55,7 @@ func ParseINI(r io.Reader) (Config, error) {
 	var cfg Config
 	latencyEnabled := true
 	bandwidthEnabled := true
-	var latReadNS, latWriteNS, latDRAMNS float64
+	var latReadNS, latWriteNS, latNVMWriteNS, latDRAMNS float64
 	var bwReadMB, bwWriteMB float64
 
 	section := ""
@@ -109,6 +110,12 @@ func ParseINI(r io.Reader) (Config, error) {
 					return fail(err)
 				}
 				latWriteNS = v
+			case "nvm_write":
+				v, err := strconv.ParseFloat(value, 64)
+				if err != nil {
+					return fail(err)
+				}
+				latNVMWriteNS = v
 			case "dram":
 				v, err := strconv.ParseFloat(value, 64)
 				if err != nil {
@@ -236,6 +243,7 @@ func ParseINI(r io.Reader) (Config, error) {
 	if latencyEnabled {
 		cfg.NVMLatency = sim.FromNanos(latReadNS)
 		cfg.WriteLatency = sim.FromNanos(latWriteNS)
+		cfg.NVMWriteLatency = sim.FromNanos(latNVMWriteNS)
 	}
 	cfg.DRAMLatency = sim.FromNanos(latDRAMNS)
 	if bandwidthEnabled {

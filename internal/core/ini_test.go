@@ -18,6 +18,7 @@ const sampleINI = `
 enable = true
 read = 500      ; ns
 write = 700
+nvm_write = 680 ; asymmetric store-model NVM write latency, ns
 
 [bandwidth]
 enable = true
@@ -50,6 +51,9 @@ func TestParseINIFull(t *testing.T) {
 	if cfg.WriteLatency != sim.FromNanos(700) {
 		t.Errorf("WriteLatency = %v, want 700ns", cfg.WriteLatency)
 	}
+	if cfg.NVMWriteLatency != sim.FromNanos(680) {
+		t.Errorf("NVMWriteLatency = %v, want 680ns", cfg.NVMWriteLatency)
+	}
 	if cfg.NVMBandwidth != 5000e6 {
 		t.Errorf("NVMBandwidth = %g, want 5e9", cfg.NVMBandwidth)
 	}
@@ -78,6 +82,7 @@ func TestParseINIDisabledSections(t *testing.T) {
 [latency]
 enable = false
 read = 500
+nvm_write = 680
 [bandwidth]
 enable = no
 model = 9000
@@ -87,6 +92,34 @@ model = 9000
 	}
 	if cfg.NVMLatency != 0 || cfg.NVMBandwidth != 0 {
 		t.Errorf("disabled sections leaked: lat=%v bw=%g", cfg.NVMLatency, cfg.NVMBandwidth)
+	}
+	if cfg.NVMWriteLatency != 0 {
+		t.Errorf("enable = false leaked nvm_write: %v", cfg.NVMWriteLatency)
+	}
+}
+
+// TestSampleINIMatchesParser is the drift gate between the shipped sample
+// configuration (docs/nvmemul.ini.sample) and the parser: every key in the
+// sample must parse, and the documented asymmetric store-model knob
+// ([latency] nvm_write) must round-trip into Config.NVMWriteLatency. A new
+// ini key without a sample line (or vice versa) should fail here, not in a
+// user's config.
+func TestSampleINIMatchesParser(t *testing.T) {
+	cfg, err := LoadINIFile(filepath.Join("..", "..", "docs", "nvmemul.ini.sample"))
+	if err != nil {
+		t.Fatalf("shipped sample no longer parses: %v", err)
+	}
+	if cfg.NVMLatency != sim.FromNanos(500) {
+		t.Errorf("sample NVMLatency = %v, want 500ns", cfg.NVMLatency)
+	}
+	if cfg.NVMWriteLatency != sim.FromNanos(680) {
+		t.Errorf("sample NVMWriteLatency = %v, want 680ns (is the nvm_write line present?)", cfg.NVMWriteLatency)
+	}
+	if cfg.NVMWriteBandwidth != 2000e6 {
+		t.Errorf("sample NVMWriteBandwidth = %g, want 2e9", cfg.NVMWriteBandwidth)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("shipped sample does not validate: %v", err)
 	}
 }
 

@@ -4,12 +4,18 @@ import (
 	"github.com/quartz-emu/quartz/internal/sim"
 )
 
-// counterSample is one reading of the Table 1 events.
+// counterSample is one reading of the Table 1 events, plus — when the
+// asymmetric write model is enabled — the store-side events.
 type counterSample struct {
 	stallCycles uint64
 	l3Hit       uint64
 	l3MissLoc   uint64 // total misses on Sandy Bridge (no split)
 	l3MissRem   uint64 // zero on Sandy Bridge
+
+	// Store-side events (zero unless NVMWriteLatency > 0 programs them).
+	stores       uint64
+	storeMissLoc uint64 // total store misses on Sandy Bridge (no split)
+	storeMissRem uint64 // zero on Sandy Bridge
 }
 
 // delta subtracts an epoch-start snapshot from an epoch-end reading.
@@ -21,25 +27,31 @@ func (s counterSample) delta(base counterSample) counterSample {
 		return a - b
 	}
 	return counterSample{
-		stallCycles: sub(s.stallCycles, base.stallCycles),
-		l3Hit:       sub(s.l3Hit, base.l3Hit),
-		l3MissLoc:   sub(s.l3MissLoc, base.l3MissLoc),
-		l3MissRem:   sub(s.l3MissRem, base.l3MissRem),
+		stallCycles:  sub(s.stallCycles, base.stallCycles),
+		l3Hit:        sub(s.l3Hit, base.l3Hit),
+		l3MissLoc:    sub(s.l3MissLoc, base.l3MissLoc),
+		l3MissRem:    sub(s.l3MissRem, base.l3MissRem),
+		stores:       sub(s.stores, base.stores),
+		storeMissLoc: sub(s.storeMissLoc, base.storeMissLoc),
+		storeMissRem: sub(s.storeMissRem, base.storeMissRem),
 	}
 }
 
 func (s counterSample) misses() uint64 { return s.l3MissLoc + s.l3MissRem }
 
+func (s counterSample) storeMisses() uint64 { return s.storeMissLoc + s.storeMissRem }
+
 // modelParams are the calibrated latencies the analytic model needs.
 type modelParams struct {
-	model     Model
-	nvmLat    sim.Time // target NVM latency
-	dramLat   sim.Time // measured DRAM baseline (remote DRAM in two-memory mode)
-	l3Lat     sim.Time // measured L3 hit latency (for W)
-	localLat  sim.Time // local DRAM latency (two-memory split weights)
-	remoteLat sim.Time // remote DRAM latency (two-memory split weights)
-	freqHz    float64  // core frequency for cycle<->time translation
-	twoMemory bool
+	model       Model
+	nvmLat      sim.Time // target NVM latency
+	nvmWriteLat sim.Time // target NVM write latency (0 disables the store model)
+	dramLat     sim.Time // measured DRAM baseline (remote DRAM in two-memory mode)
+	l3Lat       sim.Time // measured L3 hit latency (for W)
+	localLat    sim.Time // local DRAM latency (two-memory split weights)
+	remoteLat   sim.Time // remote DRAM latency (two-memory split weights)
+	freqHz      float64  // core frequency for cycle<->time translation
+	twoMemory   bool
 }
 
 // ldmStall implements Eq. 3: it scales the raw STALLS_L2_PENDING cycles —
@@ -109,4 +121,24 @@ func (p modelParams) delay(d counterSample) sim.Time {
 		// serial memory accesses times the per-access latency increase.
 		return sim.Time(float64(stallTime) / float64(p.dramLat) * float64(extra))
 	}
+}
+
+// writeDelay computes the store-side epoch delay Δw of the asymmetric model
+// (Koshiba et al.): Δw = Mw · (NVM_write_lat − DRAM_lat) with Mw the count
+// of store misses reaching memory in the epoch. Stores are posted — they
+// never contribute stall cycles — so the write term is count-based by
+// construction (there is no stall signal to scale), unlike the read path's
+// Eq. 2. In two-memory mode only remote-attributed store misses (those that
+// reached the virtual-NVM node) are delayed, mirroring Eq. 4's intent.
+// Returns 0 when nvmWriteLat is unset (symmetric configuration).
+func (p modelParams) writeDelay(d counterSample) sim.Time {
+	extra := p.nvmWriteLat - p.dramLat
+	if p.nvmWriteLat <= 0 || extra <= 0 {
+		return 0
+	}
+	m := float64(d.storeMisses())
+	if p.twoMemory {
+		m = float64(d.storeMissRem)
+	}
+	return sim.Time(m * float64(extra))
 }

@@ -16,6 +16,8 @@ type ThreadStats struct {
 	AvgEpochLen sim.Time
 	Injected    sim.Time // delay actually injected
 	WouldInject sim.Time // delay computed in switched-off-injection mode
+	WriteDelay  sim.Time // store-model delay computed (asymmetric mode)
+	StoreMisses int64    // store misses observed across closed epochs
 	Overhead    sim.Time // epoch-processing cost accrued
 	Unamortized sim.Time // overhead not yet recovered from delays
 	Flushes     int64
@@ -31,6 +33,8 @@ type Stats struct {
 	SyncEpochs  int64
 	Injected    sim.Time
 	WouldInject sim.Time
+	WriteDelay  sim.Time
+	StoreMisses int64
 	Overhead    sim.Time
 	Unamortized sim.Time
 	Flushes     int64
@@ -52,6 +56,8 @@ func (e *Emulator) Stats() Stats {
 			SyncEpochs:  ts.syncEpochs,
 			Injected:    ts.injected,
 			WouldInject: ts.wouldInject,
+			WriteDelay:  ts.writeDelaySum,
+			StoreMisses: ts.storeMisses,
 			Overhead:    ts.overhead,
 			Unamortized: ts.carry,
 			Flushes:     ts.flushes,
@@ -66,6 +72,8 @@ func (e *Emulator) Stats() Stats {
 		s.SyncEpochs += t.SyncEpochs
 		s.Injected += t.Injected
 		s.WouldInject += t.WouldInject
+		s.WriteDelay += t.WriteDelay
+		s.StoreMisses += t.StoreMisses
 		s.Overhead += t.Overhead
 		s.Unamortized += t.Unamortized
 		s.Flushes += t.Flushes

@@ -319,6 +319,7 @@ func (c *Core) LoadGroupRun(now sim.Time, base, stride uintptr, n int) sim.Time 
 // no stall cycles are recorded — the property that makes pflush necessary
 // for persistent-memory write modeling (§3.1).
 func (c *Core) Store(now sim.Time, addr uintptr) sim.Time {
+	c.ctr.CountStore()
 	// Last-line filter: a repeat store to the most recently touched L1 line
 	// dirties it with the exact bookkeeping Lookup would perform.
 	if _, ok := c.l1.TouchLast(addr, now, true); ok {
@@ -337,6 +338,7 @@ func (c *Core) Store(now sim.Time, addr uintptr) sim.Time {
 		return c.l1Lat
 	}
 	done := c.memsys.Access(now, addr, mem.Write, c.socket)
+	c.ctr.CountStoreMiss(c.memsys.HomeNode(addr) != c.socket)
 	c.fill(now, addr, true, done, true)
 	return c.l1Lat
 }

@@ -60,6 +60,21 @@ type Scale struct {
 	// measured and warmup op counts (small: total ops scale with the client
 	// count).
 	TrafficMegaOps, TrafficMegaWarmup int
+	// AsymProfiles selects the machine.NVMProfile names swept by the
+	// asymmetric-model experiments (fig11-asym / fig12-asym); quartzbench
+	// narrows it via -nvm-profile.
+	AsymProfiles []string
+	// AsymWriteLatNS, when positive, overrides every swept profile's NVM
+	// write latency (quartzbench -write-latency).
+	AsymWriteLatNS float64
+	// AsymLines sizes the fig12-asym streaming-store buffer (cache lines;
+	// the buffer is cold, so each line is store-missed exactly once).
+	AsymLines int
+	// AsymWriters is the writer-thread-count axis of the fig11-asym
+	// write-bandwidth sweep.
+	AsymWriters []int
+	// AsymBWLines is the per-writer store+flush line count of fig11-asym.
+	AsymBWLines int
 	// Sparse trims sweep grids (fewer latency points / patterns) for
 	// quick runs; Full uses the paper's complete grids.
 	Sparse bool
@@ -99,6 +114,13 @@ var Quick = Scale{
 	TrafficMegaClients: []int{4_096, 16_384},
 	TrafficMegaOps:     3,
 	TrafficMegaWarmup:  1,
+
+	AsymProfiles: []string{"optane-dcpmm", "pcm"},
+	AsymLines:    1 << 15,
+	// Capped at 8 writers: with the main thread that is 9 of Ivy Bridge's 10
+	// cores, so the sweep measures the throttle curve, not core timesharing.
+	AsymWriters: []int{1, 2, 4, 8},
+	AsymBWLines: 2_048,
 }
 
 // Full is the EXPERIMENTS.md scale.
@@ -125,6 +147,11 @@ var Full = Scale{
 	TrafficMegaClients: []int{65_536, 262_144, 1_048_576},
 	TrafficMegaOps:     4,
 	TrafficMegaWarmup:  1,
+
+	AsymProfiles: []string{"optane-dcpmm", "pcm"},
+	AsymLines:    1 << 17,
+	AsymWriters:  []int{1, 2, 3, 4, 6, 8},
+	AsymBWLines:  8_192,
 }
 
 // Metrics is the flat numeric result of one job, keyed by metric name

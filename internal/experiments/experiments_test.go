@@ -33,6 +33,11 @@ var tiny = Scale{
 	TrafficMegaClients: []int{32, 128},
 	TrafficMegaOps:     2,
 	TrafficMegaWarmup:  1,
+
+	AsymProfiles: []string{"optane-dcpmm", "pcm"},
+	AsymLines:    1 << 12,
+	AsymWriters:  []int{1, 2, 4, 8},
+	AsymBWLines:  512,
 }
 
 func TestRegistryComplete(t *testing.T) {
@@ -43,6 +48,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig15", "fig16", "pagerank-validate", "overhead", "epoch-size",
 		"model-ablation", "pcommit", "amortization", "graph500-validate", "ext-asym-bw",
 		"traffic-sweep", "traffic-slo", "traffic-mega",
+		"fig11-asym", "fig12-asym",
 	}
 	have := map[string]bool{}
 	for _, id := range All() {
@@ -190,6 +196,81 @@ func TestFig12TracksTargets(t *testing.T) {
 		measured, _ := strconv.ParseFloat(row[2], 64)
 		if rel := (measured - target) / target; rel > 0.25 || rel < -0.25 {
 			t.Errorf("%s target %.0f measured %.0f: way off even for tiny scale", row[0], target, measured)
+		}
+	}
+}
+
+// TestFig12AsymDivergence pins the asymmetric model's defining property:
+// under the calibrated profiles, emulated read and store latencies diverge in
+// the direction the device dictates — Optane stores floor at DRAM and stay
+// well below its 305 ns reads (W/R < 1), while PCM's 680 ns stores dominate
+// its 170 ns reads (W/R > 1) — and the measured store latency tracks the
+// effective (DRAM-floored) target.
+func TestFig12AsymDivergence(t *testing.T) {
+	tab, err := Fig12Asym(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * 2; len(tab.Rows) != want { // families x profiles
+		t.Fatalf("fig12-asym rows = %d, want %d", len(tab.Rows), want)
+	}
+	for _, row := range tab.Rows {
+		family, profile := row[0], row[1]
+		wTgt, _ := strconv.ParseFloat(row[5], 64)
+		wMeas, _ := strconv.ParseFloat(row[6], 64)
+		ratio, _ := strconv.ParseFloat(row[8], 64)
+		if rel := (wMeas - wTgt) / wTgt; rel > 0.1 || rel < -0.1 {
+			t.Errorf("%s/%s: store latency %.1f vs target %.1f (>10%% off)", family, profile, wMeas, wTgt)
+		}
+		switch profile {
+		case "optane-dcpmm":
+			if ratio >= 1 {
+				t.Errorf("%s/optane-dcpmm: W/R = %.2f, want < 1 (reads slower than stores)", family, ratio)
+			}
+		case "pcm":
+			if ratio <= 1 {
+				t.Errorf("%s/pcm: W/R = %.2f, want > 1 (stores slower than reads)", family, ratio)
+			}
+		}
+	}
+}
+
+// TestFig11AsymCollapse pins the write-bandwidth-collapse shape: under the
+// Optane profile the aggregate write throughput must rise from one writer to
+// the curve's peak region and then fall back, while the flat-bandwidth PCM
+// profile must never collapse below its single-writer throughput.
+func TestFig11AsymCollapse(t *testing.T) {
+	tab, err := Fig11Asym(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := map[string][]float64{}
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("unparseable row %v", row)
+		}
+		agg[row[0]] = append(agg[row[0]], v)
+	}
+	opt := agg["optane-dcpmm"]
+	if len(opt) < 3 {
+		t.Fatalf("optane-dcpmm has %d writer points", len(opt))
+	}
+	peak, last := opt[0], opt[len(opt)-1]
+	for _, v := range opt {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak <= opt[0]*1.2 {
+		t.Errorf("optane-dcpmm: no rise to a peak (1 writer %.2f, peak %.2f)", opt[0], peak)
+	}
+	if last >= peak*0.98 {
+		t.Errorf("optane-dcpmm: no collapse past the peak (peak %.2f, last %.2f)", peak, last)
+	}
+	for i, v := range agg["pcm"] {
+		if v < agg["pcm"][0]*0.9 {
+			t.Errorf("pcm: writer point %d collapsed (%.2f vs 1-writer %.2f)", i, v, agg["pcm"][0])
 		}
 	}
 }

@@ -18,8 +18,9 @@ var updateGolden = flag.Bool("update", false, "rewrite golden experiment tables"
 func TestGoldenTables(t *testing.T) {
 	// One latency sweep (epoch machinery, MemLat), one bandwidth sweep
 	// (throttle registers, STREAM), one application (caches, prefetcher,
-	// scheduler under multiple threads).
-	for _, id := range []string{"fig11", "fig8", "fig16"} {
+	// scheduler under multiple threads), and the two asymmetric-model sweeps
+	// (store counters, write-stall injection, per-thread throttle curve).
+	for _, id := range []string{"fig11", "fig8", "fig16", "fig11-asym", "fig12-asym"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			tab, err := Run(id, tiny)

@@ -32,6 +32,8 @@ var registry = map[string]entry{
 	"amortization":      {amortizationAblationJobs, "overhead carry-over amortization on/off (§3.2)"},
 	"graph500-validate": {graph500ValidationJobs, "Graph500 BFS validation, Conf_1 vs Conf_2 (§7)"},
 	"ext-asym-bw":       {asymmetricBandwidthJobs, "asymmetric read/write bandwidth throttling (§2.1 extension)"},
+	"fig11-asym":        {fig11AsymJobs, "write bandwidth vs writer threads under calibrated NVM profiles (asymmetric model)"},
+	"fig12-asym":        {fig12AsymJobs, "emulated read vs store latency per NVM profile (asymmetric model)"},
 	"traffic-sweep":     {trafficSweepJobs, "serving traffic: client count x mix x NVM latency, knee detection (extension)"},
 	"traffic-slo":       {trafficSLOJobs, "serving traffic: per-op-kind SLO breakdown at peak load (extension)"},
 	"traffic-mega":      {trafficMegaJobs, "serving traffic at scheduler scale: up to 2^20 clients per scenario (extension)"},

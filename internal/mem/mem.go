@@ -60,6 +60,12 @@ type Config struct {
 	ChannelBandwidth float64
 	// LineSize is the transfer granularity in bytes (a cache line).
 	LineSize int
+	// AccessGranularity is the device's internal access granularity in
+	// bytes: every line transfer occupies a channel for this many bytes of
+	// device bandwidth. Optane DC PMM reads and writes 256 B XPLines
+	// internally (Empirical Guide §3), so each 64 B line costs 4x its size
+	// in device occupancy. 0 defaults to LineSize (no amplification).
+	AccessGranularity int
 	// ThrottleFullScale is the register value at which the linear throttle
 	// ramp reaches peak bandwidth. Values above it saturate (Fig. 8).
 	ThrottleFullScale uint16
@@ -75,6 +81,9 @@ func (c Config) Validate() error {
 	}
 	if c.LineSize <= 0 {
 		return fmt.Errorf("mem: LineSize = %d, must be positive", c.LineSize)
+	}
+	if c.AccessGranularity < 0 {
+		return fmt.Errorf("mem: AccessGranularity = %d, must be non-negative", c.AccessGranularity)
 	}
 	if c.ThrottleFullScale == 0 || c.ThrottleFullScale > RegisterMax {
 		return fmt.Errorf("mem: ThrottleFullScale = %d, must be in [1,%d]", c.ThrottleFullScale, RegisterMax)
@@ -139,15 +148,25 @@ func NewController(node int, cfg Config) (*Controller, error) {
 	return c, nil
 }
 
+// granularityBytes is the per-transfer device occupancy in bytes: the
+// device access granularity when configured (internal write/read
+// amplification), the line size otherwise.
+func (c *Controller) granularityBytes() float64 {
+	if c.cfg.AccessGranularity > 0 {
+		return float64(c.cfg.AccessGranularity)
+	}
+	return float64(c.cfg.LineSize)
+}
+
 // refillRead recomputes the cached read-path occupancy (the exact
 // expression Access previously evaluated per request).
 func (c *Controller) refillRead() {
-	c.occRead = sim.Time(float64(c.cfg.LineSize) / c.ChannelBandwidth() * float64(sim.Second))
+	c.occRead = sim.Time(c.granularityBytes() / c.ChannelBandwidth() * float64(sim.Second))
 }
 
 // refillWrite recomputes the cached write-path occupancy.
 func (c *Controller) refillWrite() {
-	c.occWrite = sim.Time(float64(c.cfg.LineSize) / c.ChannelWriteBandwidth() * float64(sim.Second))
+	c.occWrite = sim.Time(c.granularityBytes() / c.ChannelWriteBandwidth() * float64(sim.Second))
 }
 
 // Node reports the controller's NUMA node id.

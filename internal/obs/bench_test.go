@@ -12,9 +12,11 @@ var benchRecord = EpochRecord{
 	Reason:      "max",
 	StallCycles: 12345, L3Hit: 100, L3MissLocal: 900,
 	LDMStallCycles: 11000,
-	Delay:          100 * sim.Microsecond,
-	Injected:       90 * sim.Microsecond,
-	Overhead:       sim.Microsecond,
+	Stores:         4000, StoreMissLocal: 700,
+	WriteDelay: 30 * sim.Microsecond,
+	Delay:      100 * sim.Microsecond,
+	Injected:   90 * sim.Microsecond,
+	Overhead:   sim.Microsecond,
 }
 
 // BenchmarkEpochClosedNil measures the fully disabled observability path —

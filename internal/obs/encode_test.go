@@ -55,6 +55,10 @@ func TestAppendJSONRecordMatchesStdlib(t *testing.T) {
 			L3MissLocal:    uint64(rng.Int63n(1e9)),
 			L3MissRemote:   uint64(rng.Int63n(3)) * uint64(rng.Int63n(1e9)),
 			LDMStallCycles: floats[rng.Intn(len(floats))],
+			Stores:         uint64(rng.Int63n(2)) * uint64(rng.Int63n(1e9)),
+			StoreMissLocal: uint64(rng.Int63n(2)) * uint64(rng.Int63n(1e9)),
+			StoreMissRem:   uint64(rng.Int63n(3)) * uint64(rng.Int63n(1e9)),
+			WriteDelay:     sim.Time(rng.Int63n(2)) * sim.Time(rng.Int63n(1e12)),
 			Delay:          sim.Time(rng.Int63n(1e12)),
 			Injected:       sim.Time(rng.Int63n(1e12)),
 			InjectStart:    sim.Time(rng.Int63n(2)) * sim.Time(rng.Int63n(1e15)),

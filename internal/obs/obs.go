@@ -81,6 +81,13 @@ type EpochRecord struct {
 	L3MissLocal  uint64 `json:"l3_miss_local"`
 	L3MissRemote uint64 `json:"l3_miss_remote,omitempty"`
 
+	// Store-side counter deltas (asymmetric write model, doc/asymmetry.md).
+	// Zero — and omitted from the JSONL schema — when the store model is
+	// disabled, keeping symmetric-configuration ledgers byte-identical.
+	Stores         uint64 `json:"stores,omitempty"`
+	StoreMissLocal uint64 `json:"store_miss_local,omitempty"`
+	StoreMissRem   uint64 `json:"store_miss_remote,omitempty"`
+
 	// LDMStallCycles is Eq. 3's memory-attributable stall extraction (after
 	// the Eq. 4 remote split in two-memory mode).
 	LDMStallCycles float64 `json:"ldm_stall_cycles"`
@@ -89,8 +96,11 @@ type EpochRecord struct {
 	// Injected is what was actually spun after overhead amortization.
 	// Injected < Delay means the difference amortized accumulated overhead;
 	// Injected == 0 with Delay > 0 also covers switched-off-injection mode.
-	Delay    sim.Time `json:"delay_fs"`
-	Injected sim.Time `json:"injected_fs"`
+	Delay sim.Time `json:"delay_fs"`
+	// WriteDelay is the store-model component included in Delay (zero and
+	// omitted when the asymmetric model is disabled).
+	WriteDelay sim.Time `json:"write_delay_fs,omitempty"`
+	Injected   sim.Time `json:"injected_fs"`
 	// InjectStart/InjectEnd bound the injection spin in virtual time
 	// (zero when nothing was injected).
 	InjectStart sim.Time `json:"inject_start_fs,omitempty"`

@@ -288,10 +288,26 @@ func appendJSONRecord(buf []byte, rec EpochRecord) []byte {
 		buf = append(buf, `,"l3_miss_remote":`...)
 		buf = strconv.AppendUint(buf, rec.L3MissRemote, 10)
 	}
+	if rec.Stores != 0 {
+		buf = append(buf, `,"stores":`...)
+		buf = strconv.AppendUint(buf, rec.Stores, 10)
+	}
+	if rec.StoreMissLocal != 0 {
+		buf = append(buf, `,"store_miss_local":`...)
+		buf = strconv.AppendUint(buf, rec.StoreMissLocal, 10)
+	}
+	if rec.StoreMissRem != 0 {
+		buf = append(buf, `,"store_miss_remote":`...)
+		buf = strconv.AppendUint(buf, rec.StoreMissRem, 10)
+	}
 	buf = append(buf, `,"ldm_stall_cycles":`...)
 	buf = appendJSONFloat(buf, rec.LDMStallCycles)
 	buf = append(buf, `,"delay_fs":`...)
 	buf = strconv.AppendInt(buf, int64(rec.Delay), 10)
+	if rec.WriteDelay != 0 {
+		buf = append(buf, `,"write_delay_fs":`...)
+		buf = strconv.AppendInt(buf, int64(rec.WriteDelay), 10)
+	}
 	buf = append(buf, `,"injected_fs":`...)
 	buf = strconv.AppendInt(buf, int64(rec.Injected), 10)
 	if rec.InjectStart != 0 {
@@ -356,10 +372,10 @@ func appendJSONFloat(buf []byte, f float64) []byte {
 
 // appendBinaryPayload encodes the record fields in their fixed order:
 // uvarint Seq; varint PID, TID; string Thread; varint Start, End; string
-// Reason; uvarint StallCycles, L3Hit, L3MissLocal, L3MissRemote; fixed64
-// LDMStallCycles (IEEE 754, little-endian); varint Delay, Injected,
-// InjectStart, InjectEnd, Overhead, Carry. Strings are uvarint length +
-// bytes.
+// Reason; uvarint StallCycles, L3Hit, L3MissLocal, L3MissRemote, Stores,
+// StoreMissLocal, StoreMissRem; fixed64 LDMStallCycles (IEEE 754,
+// little-endian); varint Delay, WriteDelay, Injected, InjectStart,
+// InjectEnd, Overhead, Carry. Strings are uvarint length + bytes.
 func appendBinaryPayload(buf []byte, rec EpochRecord) []byte {
 	buf = binary.AppendUvarint(buf, rec.Seq)
 	buf = binary.AppendVarint(buf, int64(rec.PID))
@@ -372,8 +388,12 @@ func appendBinaryPayload(buf []byte, rec EpochRecord) []byte {
 	buf = binary.AppendUvarint(buf, rec.L3Hit)
 	buf = binary.AppendUvarint(buf, rec.L3MissLocal)
 	buf = binary.AppendUvarint(buf, rec.L3MissRemote)
+	buf = binary.AppendUvarint(buf, rec.Stores)
+	buf = binary.AppendUvarint(buf, rec.StoreMissLocal)
+	buf = binary.AppendUvarint(buf, rec.StoreMissRem)
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rec.LDMStallCycles))
 	buf = binary.AppendVarint(buf, int64(rec.Delay))
+	buf = binary.AppendVarint(buf, int64(rec.WriteDelay))
 	buf = binary.AppendVarint(buf, int64(rec.Injected))
 	buf = binary.AppendVarint(buf, int64(rec.InjectStart))
 	buf = binary.AppendVarint(buf, int64(rec.InjectEnd))
@@ -473,8 +493,12 @@ func decodeBinaryPayload(p []byte) (EpochRecord, error) {
 	rec.L3Hit = d.uvarint()
 	rec.L3MissLocal = d.uvarint()
 	rec.L3MissRemote = d.uvarint()
+	rec.Stores = d.uvarint()
+	rec.StoreMissLocal = d.uvarint()
+	rec.StoreMissRem = d.uvarint()
 	rec.LDMStallCycles = d.float64()
 	rec.Delay = sim.Time(d.varint())
+	rec.WriteDelay = sim.Time(d.varint())
 	rec.Injected = sim.Time(d.varint())
 	rec.InjectStart = sim.Time(d.varint())
 	rec.InjectEnd = sim.Time(d.varint())

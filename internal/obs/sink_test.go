@@ -23,12 +23,15 @@ func fullRecord(i int) EpochRecord {
 		StallCycles: uint64(1000 * (i + 1)), L3Hit: uint64(10 * i),
 		L3MissLocal: uint64(900 + i), L3MissRemote: uint64(i % 7),
 		LDMStallCycles: 123.25 * float64(i+1),
-		Delay:          sim.Time(i) * sim.Microsecond,
-		Injected:       sim.Time(i) * sim.Microsecond / 2,
-		InjectStart:    t + sim.Millisecond,
-		InjectEnd:      t + sim.Millisecond + sim.Time(i)*sim.Microsecond/2,
-		Overhead:       sim.Time(i%10) * sim.Nanosecond,
-		Carry:          sim.Time(i%3) * sim.Nanosecond,
+		Stores:         uint64(2000 * i), StoreMissLocal: uint64(800 + i),
+		StoreMissRem: uint64(i % 5),
+		WriteDelay:   sim.Time(i%4) * sim.Microsecond,
+		Delay:        sim.Time(i) * sim.Microsecond,
+		Injected:     sim.Time(i) * sim.Microsecond / 2,
+		InjectStart:  t + sim.Millisecond,
+		InjectEnd:    t + sim.Millisecond + sim.Time(i)*sim.Microsecond/2,
+		Overhead:     sim.Time(i%10) * sim.Nanosecond,
+		Carry:        sim.Time(i%3) * sim.Nanosecond,
 	}
 }
 

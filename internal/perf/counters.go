@@ -50,6 +50,15 @@ type Counters struct {
 	l3MissLoc   uint64
 	l3MissRem   uint64
 
+	// Store-side counts for the asymmetric write model. These are exact
+	// (no fidelity distortion): retirement counters for stores are precise
+	// on real hardware, and keeping them off the noise sequence means the
+	// read-path pseudo-noise stream is bit-identical whether or not the
+	// write model observes them.
+	stores       uint64
+	storeMissLoc uint64
+	storeMissRem uint64
+
 	sampleSeq uint64 // advances per accumulation; drives pseudo-noise
 }
 
@@ -107,6 +116,26 @@ func (c *Counters) CountL3Miss(remote bool) {
 	}
 }
 
+// CountStore records a retired store uop.
+func (c *Counters) CountStore() {
+	if c.enabled {
+		c.stores++
+	}
+}
+
+// CountStoreMiss records a store (RFO) served by memory on the given NUMA
+// relationship.
+func (c *Counters) CountStoreMiss(remote bool) {
+	if !c.enabled {
+		return
+	}
+	if remote {
+		c.storeMissRem++
+	} else {
+		c.storeMissLoc++
+	}
+}
+
 // Read returns the architectural value of event e as user software would see
 // it via rdpmc, including the family fidelity distortion on stall counts.
 // Events the family cannot count (Table 1) return an error.
@@ -125,6 +154,14 @@ func (c *Counters) Read(e Event) (uint64, error) {
 		return c.l3MissLoc, nil
 	case EventL3MissRemote:
 		return c.l3MissRem, nil
+	case EventStoresRetired:
+		return c.stores, nil
+	case EventStoreMiss:
+		return c.storeMissLoc + c.storeMissRem, nil
+	case EventStoreMissLocal:
+		return c.storeMissLoc, nil
+	case EventStoreMissRemote:
+		return c.storeMissRem, nil
 	default:
 		return 0, fmt.Errorf("perf: unknown event %v", e)
 	}
@@ -138,6 +175,7 @@ func (c *Counters) TrueStallCycles() float64 { return c.trueStall }
 func (c *Counters) Reset() {
 	c.stallCycles, c.trueStall = 0, 0
 	c.l3Hit, c.l3MissLoc, c.l3MissRem = 0, 0, 0
+	c.stores, c.storeMissLoc, c.storeMissRem = 0, 0, 0
 }
 
 // noiseUnit maps a sequence number to a deterministic value in [-1, 1] via a

@@ -48,6 +48,15 @@ const (
 	EventL3Miss                           // loads missing LLC (total)
 	EventL3MissLocal                      // LLC misses served by local DRAM
 	EventL3MissRemote                     // LLC misses served by remote DRAM
+
+	// Store-side events for the asymmetric read/write model (Koshiba et
+	// al.). These are NOT part of the paper's Table 1 set — EventsFor
+	// excludes them so the read-only model programs exactly the events the
+	// paper lists; StoreEventsFor reports the extra set.
+	EventStoresRetired   // retired store uops
+	EventStoreMiss       // stores missing LLC (total, RFO to memory)
+	EventStoreMissLocal  // store misses served by local DRAM
+	EventStoreMissRemote // store misses served by remote DRAM
 )
 
 func (e Event) String() string {
@@ -62,6 +71,14 @@ func (e Event) String() string {
 		return "L3_miss_local"
 	case EventL3MissRemote:
 		return "L3_miss_remote"
+	case EventStoresRetired:
+		return "stores"
+	case EventStoreMiss:
+		return "store_miss"
+	case EventStoreMissLocal:
+		return "store_miss_local"
+	case EventStoreMissRemote:
+		return "store_miss_remote"
 	default:
 		return fmt.Sprintf("Event(%d)", int(e))
 	}
@@ -79,6 +96,10 @@ func EventName(f Family, e Event) (name string, ok bool) {
 			return "MEM_LOAD_UOPS_RETIRED:L3_HIT", true
 		case EventL3Miss:
 			return "MEM_LOAD_UOPS_MISC_RETIRED:LLC_MISS", true
+		case EventStoresRetired:
+			return "MEM_UOPS_RETIRED:ALL_STORES", true
+		case EventStoreMiss:
+			return "OFFCORE_RESPONSE:DMND_RFO:LLC_MISS", true
 		}
 	case IvyBridge:
 		switch e {
@@ -90,6 +111,12 @@ func EventName(f Family, e Event) (name string, ok bool) {
 			return "MEM_LOAD_UOPS_LLC_MISS_RETIRED:LOCAL_DRAM", true
 		case EventL3MissRemote:
 			return "MEM_LOAD_UOPS_LLC_MISS_RETIRED:REMOTE_DRAM", true
+		case EventStoresRetired:
+			return "MEM_UOPS_RETIRED:ALL_STORES", true
+		case EventStoreMissLocal:
+			return "OFFCORE_RESPONSE:DMND_RFO:LLC_MISS_LOCAL", true
+		case EventStoreMissRemote:
+			return "OFFCORE_RESPONSE:DMND_RFO:LLC_MISS_REMOTE", true
 		}
 	case Haswell:
 		switch e {
@@ -101,6 +128,12 @@ func EventName(f Family, e Event) (name string, ok bool) {
 			return "MEM_LOAD_UOPS_L3_MISS_RETIRED:LOCAL_DRAM", true
 		case EventL3MissRemote:
 			return "MEM_LOAD_UOPS_L3_MISS_RETIRED:REMOTE_DRAM", true
+		case EventStoresRetired:
+			return "MEM_UOPS_RETIRED:ALL_STORES", true
+		case EventStoreMissLocal:
+			return "OFFCORE_RESPONSE:DMND_RFO:L3_MISS_LOCAL", true
+		case EventStoreMissRemote:
+			return "OFFCORE_RESPONSE:DMND_RFO:L3_MISS_REMOTE", true
 		}
 	}
 	return "", false
@@ -112,6 +145,17 @@ func EventsFor(f Family) []Event {
 		return []Event{EventStallsL2Pending, EventL3Hit, EventL3Miss}
 	}
 	return []Event{EventStallsL2Pending, EventL3Hit, EventL3MissLocal, EventL3MissRemote}
+}
+
+// StoreEventsFor reports the additional store-side events programmed when
+// the asymmetric write model is enabled. Kept separate from EventsFor so the
+// read-only model's counter set — and its per-epoch read cost — is exactly
+// the paper's Table 1.
+func StoreEventsFor(f Family) []Event {
+	if f == SandyBridge {
+		return []Event{EventStoresRetired, EventStoreMiss}
+	}
+	return []Event{EventStoresRetired, EventStoreMissLocal, EventStoreMissRemote}
 }
 
 // SplitsLocalRemote reports whether family f can attribute LLC misses to

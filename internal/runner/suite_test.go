@@ -35,6 +35,11 @@ var suiteScale = experiments.Scale{
 	TrafficMegaClients: []int{24, 96},
 	TrafficMegaOps:     2,
 	TrafficMegaWarmup:  1,
+
+	AsymProfiles: []string{"optane-dcpmm", "pcm"},
+	AsymLines:    1 << 12,
+	AsymWriters:  []int{1, 2, 4},
+	AsymBWLines:  256,
 }
 
 // renderAll concatenates the rendered tables of a suite run.
@@ -105,12 +110,15 @@ func TestTrafficSuiteDeterminism(t *testing.T) {
 // the assembled tables must be byte-identical for serial vs. parallel units
 // — and for every -parallel × -trial-parallel combination, the ISSUE 7
 // gate. fig11 exercises paired trials, model-ablation the variant fan-out,
-// table2 the plain positional trial slots.
+// table2 the plain positional trial slots, and the two asymmetric-model
+// sweeps the store-counter/write-stall path (fig12-asym interleaves
+// read/baseline/asym unit triples; fig11-asym spawns multi-writer
+// simulations whose registration order reprograms the write throttle).
 func TestTrialParallelDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real experiments")
 	}
-	ids := []string{"fig11", "model-ablation", "table2"}
+	ids := []string{"fig11", "model-ablation", "table2", "fig11-asym", "fig12-asym"}
 	scale := suiteScale
 	scale.Trials = 3 // multiple trial units per job, not just the paired runs
 	serial, err := Suite(context.Background(), ids, scale, Config{Workers: 1})
