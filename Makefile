@@ -5,7 +5,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build vet test bench-quick bench bench-alloc bench-compare bench-smoke serve-smoke traffic-smoke asym-smoke full-results docs-check ci
+.PHONY: all build vet test bench-quick bench bench-alloc bench-compare bench-smoke serve-smoke traffic-smoke asym-smoke profile-smoke full-results docs-check ci
 
 all: vet test
 
@@ -27,7 +27,7 @@ docs-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
-ci: docs-check test bench-alloc bench-smoke serve-smoke traffic-smoke asym-smoke
+ci: docs-check test bench-alloc bench-smoke serve-smoke traffic-smoke asym-smoke profile-smoke
 
 # serve-smoke end-to-end checks the live introspection plane: quartzbench
 # -serve on an ephemeral port with a streaming ledger sink, probed by
@@ -49,6 +49,14 @@ traffic-smoke:
 asym-smoke:
 	sh scripts/asym-smoke.sh
 
+# profile-smoke end-to-end checks the virtual-time profiler: a narrowed
+# traffic-sweep with -vtprof and -serve, asserting `go tool pprof -top`
+# parses the merged suite profile with nonzero inject_read time and that
+# the live /vtprof endpoint serves the profile. The profiler's charge-path
+# 0-alloc gate runs under bench-alloc.
+profile-smoke:
+	sh scripts/profile-smoke.sh
+
 # bench-quick regenerates two representative artifacts on the parallel
 # runner — a fast smoke test of the whole stack — and runs the hot-path
 # micro-benchmarks (cache walk, core load, kernel dispatch, emulated epoch
@@ -69,7 +77,7 @@ bench-quick:
 # without -race (the race runtime allocates); `make test` still covers these
 # files race-enabled with the gates skipped.
 bench-alloc:
-	$(GO) test -run 'NoAllocs' -count=1 ./internal/bench ./internal/cache ./internal/obs ./internal/workload
+	$(GO) test -run 'NoAllocs' -count=1 ./internal/bench ./internal/cache ./internal/obs ./internal/obs/vtprof ./internal/workload
 
 # bench-compare times the quick suite experiment by experiment (min of
 # three passes each) with intra-experiment trial parallelism on, diffs

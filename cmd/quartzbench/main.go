@@ -47,6 +47,7 @@ import (
 	"github.com/quartz-emu/quartz/internal/machine"
 	"github.com/quartz-emu/quartz/internal/obs"
 	"github.com/quartz-emu/quartz/internal/obs/obshttp"
+	"github.com/quartz-emu/quartz/internal/obs/vtprof"
 	"github.com/quartz-emu/quartz/internal/runner"
 	"github.com/quartz-emu/quartz/internal/workload"
 )
@@ -80,6 +81,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trafClients  = fs.String("traffic-clients", "", "comma-separated client counts overriding the scale's traffic-* sweep (e.g. 64,256,1024)")
 		trafMixes    = fs.String("traffic-mixes", "", "comma-separated mix presets overriding the scale's traffic-* sweep (read-mostly, write-heavy, scan-blend)")
 		trafPool     = fs.Int("traffic-pool", 0, "serving pool threads per traffic scenario, overriding the scale (0 = scale default)")
+		trafLats     = fs.String("traffic-lats", "", "comma-separated emulated NVM latencies in ns overriding the scale's traffic-* sweep (e.g. 200,600,2000)")
+		vtprofDir    = fs.String("vtprof", "", "write virtual-time profiles (per-job and merged, pprof .pb.gz + .folded) into this directory")
+		servePprof   = fs.Bool("serve-pprof", false, "mount host-side net/http/pprof under /debug/pprof/ on the -serve server")
 		writeLat     = fs.Float64("write-latency", 0, "NVM write-latency override in ns for the asymmetric experiments (0 = profile default)")
 		nvmProf      = fs.String("nvm-profile", "", "comma-separated NVM profile names narrowing the asymmetric sweeps (e.g. optane-dcpmm,pcm)")
 	)
@@ -91,7 +95,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// upfront -exp id validation: a misconfiguration must fail in
 	// milliseconds, not after the suite.
 	sinkFormat, err := validateFlags(*listFlag, *parallelFlag, *trialPar, *retriesFlag,
-		*serveFlag, *lingerFlag, *ledgerOut, *ledgerFormat, *ledgerRotMB)
+		*serveFlag, *lingerFlag, *ledgerOut, *ledgerFormat, *ledgerRotMB, *servePprof)
 	if err != nil {
 		fmt.Fprintf(stderr, "quartzbench: %v\n", err)
 		return 2
@@ -116,7 +120,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	scale.TrialParallel = *trialPar
-	if err := applyTrafficOverrides(&scale, *trafClients, *trafMixes, *trafPool); err != nil {
+	// The virtual-time profiler attaches per job through the scale; nil (the
+	// default) keeps every simulation byte-identical to an unprofiled run.
+	var profSuite *vtprof.Suite
+	if *vtprofDir != "" {
+		profSuite = vtprof.NewSuite()
+		scale.Profiles = profSuite
+	}
+	if err := applyTrafficOverrides(&scale, *trafClients, *trafMixes, *trafPool, *trafLats); err != nil {
 		fmt.Fprintf(stderr, "quartzbench: %v\n", err)
 		return 2
 	}
@@ -208,7 +219,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		board := runner.NewStatusBoard()
 		cfg.Status = board
 		var err error
-		srv, err = obshttp.Start(*serveFlag, obshttp.Options{Recorder: rec, Status: board})
+		opts := obshttp.Options{Recorder: rec, Status: board, DebugPprof: *servePprof}
+		if profSuite != nil {
+			opts.VTProf = profSuite.PprofBytes
+		}
+		srv, err = obshttp.Start(*serveFlag, opts)
 		if err != nil {
 			fmt.Fprintf(stderr, "quartzbench: %v\n", err)
 			return 2
@@ -288,6 +303,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	if profSuite != nil {
+		if err := writeVTProf(profSuite, *vtprofDir); err != nil {
+			fmt.Fprintf(stderr, "quartzbench: -vtprof: %v\n", err)
+			return 1
+		}
+	}
 	if srv != nil && *lingerFlag > 0 {
 		// Keep the introspection plane queryable after the suite so smoke
 		// tests and dashboards can take a final reading; Ctrl-C cuts it.
@@ -307,7 +328,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // validateFlags rejects invalid flag combinations upfront with clear
 // errors. It returns the parsed -ledger-format.
 func validateFlags(list bool, parallel, trialParallel, retries int, serve string, linger time.Duration,
-	ledgerOut, ledgerFormat string, ledgerRotMB int64) (obs.SinkFormat, error) {
+	ledgerOut, ledgerFormat string, ledgerRotMB int64, servePprof bool) (obs.SinkFormat, error) {
 	sinkFormat, err := obs.ParseSinkFormat(ledgerFormat)
 	if err != nil {
 		return 0, fmt.Errorf("-ledger-format: %v", err)
@@ -327,6 +348,8 @@ func validateFlags(list bool, parallel, trialParallel, retries int, serve string
 		return 0, fmt.Errorf("-serve-linger needs -serve")
 	case ledgerRotMB > 0 && ledgerOut == "":
 		return 0, fmt.Errorf("-ledger-rotate-mb needs -ledger-out")
+	case servePprof && serve == "":
+		return 0, fmt.Errorf("-serve-pprof needs -serve")
 	case list && serve != "":
 		return 0, fmt.Errorf("-serve makes no sense with -list (nothing runs)")
 	}
@@ -334,9 +357,9 @@ func validateFlags(list bool, parallel, trialParallel, retries int, serve string
 }
 
 // applyTrafficOverrides narrows the scale's traffic sweep from the
-// -traffic-clients / -traffic-mixes / -traffic-pool flags, validating every
-// value upfront so a typo fails before any experiment runs.
-func applyTrafficOverrides(scale *experiments.Scale, clientsCSV, mixesCSV string, pool int) error {
+// -traffic-clients / -traffic-mixes / -traffic-pool / -traffic-lats flags,
+// validating every value upfront so a typo fails before any experiment runs.
+func applyTrafficOverrides(scale *experiments.Scale, clientsCSV, mixesCSV string, pool int, latsCSV string) error {
 	if clientsCSV != "" {
 		var clients []int
 		for _, s := range strings.Split(clientsCSV, ",") {
@@ -360,6 +383,17 @@ func applyTrafficOverrides(scale *experiments.Scale, clientsCSV, mixesCSV string
 		}
 		scale.TrafficMixes = mixes
 	}
+	if latsCSV != "" {
+		var lats []float64
+		for _, s := range strings.Split(latsCSV, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || v <= 0 {
+				return fmt.Errorf("-traffic-lats: %q is not a positive latency in ns", s)
+			}
+			lats = append(lats, v)
+		}
+		scale.TrafficLatsNS = lats
+	}
 	switch {
 	case pool < 0:
 		return fmt.Errorf("-traffic-pool %d: must be >= 0 (0 = scale default)", pool)
@@ -367,6 +401,58 @@ func applyTrafficOverrides(scale *experiments.Scale, clientsCSV, mixesCSV string
 		scale.TrafficPool = pool
 	}
 	return nil
+}
+
+// profFileName maps a job key ("traffic-sweep/read-mostly/lat=600ns/...")
+// to a flat, filesystem-safe file stem.
+func profFileName(job string) string {
+	var b strings.Builder
+	b.Grow(len(job))
+	for i := 0; i < len(job); i++ {
+		c := job[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '-', c == '_', c == '=':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// writeVTProf writes the suite's virtual-time profiles into dir: one
+// <job>.pb.gz / <job>.folded pair per profiled job, plus suite.pb.gz /
+// suite.folded merging every job (the file `go tool pprof` and flame-graph
+// tooling consume directly).
+func writeVTProf(suite *vtprof.Suite, dir string) error {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return err
+	}
+	write := func(stem string, p *vtprof.Profile) error {
+		pb, err := p.PprofBytes()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(fmt.Sprintf("%s/%s.pb.gz", dir, stem), pb, 0o666); err != nil {
+			return err
+		}
+		f, err := os.Create(fmt.Sprintf("%s/%s.folded", dir, stem))
+		if err != nil {
+			return err
+		}
+		werr := p.WriteFolded(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		return werr
+	}
+	for _, job := range suite.Jobs() {
+		if err := write(profFileName(job), suite.JobProfile(job)); err != nil {
+			return err
+		}
+	}
+	return write("suite", suite.Merged())
 }
 
 // applyAsymOverrides narrows the asymmetric-model sweep from the

@@ -68,6 +68,8 @@ func TestTrafficFlagValidation(t *testing.T) {
 		{"-exp", "traffic-sweep", "-traffic-clients", "-4"},
 		{"-exp", "traffic-sweep", "-traffic-mixes", "read-heavy"},
 		{"-exp", "traffic-sweep", "-traffic-pool", "-2"},
+		{"-exp", "traffic-sweep", "-traffic-lats", "600,zero"},
+		{"-exp", "traffic-sweep", "-traffic-lats", "0"},
 	}
 	for _, args := range cases {
 		if code, _, _ := runCLI(t, args...); code != 2 {
@@ -83,7 +85,7 @@ func TestTrafficFlagValidation(t *testing.T) {
 // TestTrafficOverrides applies the traffic flags to the scale.
 func TestTrafficOverrides(t *testing.T) {
 	s := experiments.Quick
-	if err := applyTrafficOverrides(&s, "8, 24", "scan-blend", 9); err != nil {
+	if err := applyTrafficOverrides(&s, "8, 24", "scan-blend", 9, "200, 600"); err != nil {
 		t.Fatal(err)
 	}
 	if len(s.TrafficClients) != 2 || s.TrafficClients[0] != 8 || s.TrafficClients[1] != 24 {
@@ -95,9 +97,12 @@ func TestTrafficOverrides(t *testing.T) {
 	if s.TrafficPool != 9 {
 		t.Errorf("TrafficPool = %d, want 9", s.TrafficPool)
 	}
+	if len(s.TrafficLatsNS) != 2 || s.TrafficLatsNS[0] != 200 || s.TrafficLatsNS[1] != 600 {
+		t.Errorf("TrafficLatsNS = %v", s.TrafficLatsNS)
+	}
 	// Empty flags leave the scale untouched.
 	s2 := experiments.Quick
-	if err := applyTrafficOverrides(&s2, "", "", 0); err != nil {
+	if err := applyTrafficOverrides(&s2, "", "", 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	if len(s2.TrafficClients) != len(experiments.Quick.TrafficClients) {
@@ -106,8 +111,69 @@ func TestTrafficOverrides(t *testing.T) {
 	if s2.TrafficPool != experiments.Quick.TrafficPool {
 		t.Errorf("pool 0 changed TrafficPool: %d", s2.TrafficPool)
 	}
-	if err := applyTrafficOverrides(&s2, "", "", -1); err == nil {
+	if len(s2.TrafficLatsNS) != len(experiments.Quick.TrafficLatsNS) {
+		t.Errorf("empty override changed TrafficLatsNS: %v", s2.TrafficLatsNS)
+	}
+	if err := applyTrafficOverrides(&s2, "", "", -1, ""); err == nil {
 		t.Error("negative -traffic-pool accepted")
+	}
+	if err := applyTrafficOverrides(&s2, "", "", 0, "600,zero"); err == nil {
+		t.Error("non-numeric -traffic-lats accepted")
+	}
+	if err := applyTrafficOverrides(&s2, "", "", 0, "-200"); err == nil {
+		t.Error("negative -traffic-lats accepted")
+	}
+}
+
+// TestServePprofNeedsServe: -serve-pprof only makes sense with a live
+// introspection server; asking for it without -serve must fail upfront.
+func TestServePprofNeedsServe(t *testing.T) {
+	code, _, stderr := runCLI(t, "-exp", "table1", "-serve-pprof")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-serve-pprof") || !strings.Contains(stderr, "-serve") {
+		t.Errorf("stderr does not explain the -serve-pprof/-serve dependency: %q", stderr)
+	}
+}
+
+// TestVTProfWritesProfiles: -vtprof on a real (tiny) traffic job must write a
+// per-job profile and the merged suite profile, both non-empty gzipped pprof
+// files, plus the folded-stacks sidecars.
+func TestVTProfWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	code, _, stderr := runCLI(t, "-exp", "traffic-sweep", "-scale", "quick",
+		"-traffic-clients", "8", "-traffic-mixes", "read-mostly", "-traffic-lats", "600",
+		"-vtprof", dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	suite := filepath.Join(dir, "suite.pb.gz")
+	b, err := os.ReadFile(suite)
+	if err != nil {
+		t.Fatalf("merged suite profile missing: %v", err)
+	}
+	if len(b) < 2 || b[0] != 0x1f || b[1] != 0x8b {
+		t.Errorf("suite.pb.gz is not gzip (starts %x)", b[:min(4, len(b))])
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pb, folded int
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), ".pb.gz"):
+			pb++
+		case strings.HasSuffix(e.Name(), ".folded"):
+			folded++
+		}
+	}
+	if pb < 2 { // at least one per-job profile plus the suite merge
+		t.Errorf("want >= 2 .pb.gz files (job + suite), got %d: %v", pb, entries)
+	}
+	if folded != pb {
+		t.Errorf("every .pb.gz needs a .folded sidecar: %d vs %d", pb, folded)
 	}
 }
 

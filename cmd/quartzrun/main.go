@@ -21,12 +21,19 @@
 // /events) for the duration of the run (plus -serve-linger); -ledger-out
 // streams every epoch record to disk as it closes (-ledger-format jsonl or
 // binary). See doc/live-monitoring.md.
+//
+// -vtprof DIR writes the run's virtual-time profile — every simulated
+// nanosecond attributed to (thread, phase, category) — as pprof protobuf
+// (run.pb.gz) plus folded stacks (run.folded); with -serve it is also live
+// at GET /vtprof. -serve-pprof additionally mounts host-side net/http/pprof
+// under /debug/pprof/. See doc/profiling.md.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"github.com/quartz-emu/quartz/internal/apps/graph500"
@@ -37,6 +44,7 @@ import (
 	"github.com/quartz-emu/quartz/internal/machine"
 	"github.com/quartz-emu/quartz/internal/obs"
 	"github.com/quartz-emu/quartz/internal/obs/obshttp"
+	"github.com/quartz-emu/quartz/internal/obs/vtprof"
 	"github.com/quartz-emu/quartz/internal/sim"
 	"github.com/quartz-emu/quartz/internal/simos"
 )
@@ -72,6 +80,8 @@ type flags struct {
 	ledgerOut   string
 	ledgerFmt   string
 	ledgerRotMB int64
+	vtprofDir   string
+	servePprof  bool
 }
 
 func run() int {
@@ -102,6 +112,8 @@ func run() int {
 	flag.StringVar(&f.ledgerOut, "ledger-out", "", "stream every epoch record to this file as it closes")
 	flag.StringVar(&f.ledgerFmt, "ledger-format", "jsonl", "ledger sink encoding: jsonl or binary")
 	flag.Int64Var(&f.ledgerRotMB, "ledger-rotate-mb", 0, "rotate the ledger sink file after this many MiB (0 = never)")
+	flag.StringVar(&f.vtprofDir, "vtprof", "", "write the run's virtual-time profile (pprof .pb.gz + .folded) into this directory")
+	flag.BoolVar(&f.servePprof, "serve-pprof", false, "mount host-side net/http/pprof under /debug/pprof/ on the -serve server")
 	flag.Parse()
 
 	// Asymmetric-model flags are validated upfront like flag-parse errors
@@ -178,6 +190,8 @@ func validateObsFlags(f flags) (obs.SinkFormat, error) {
 		return 0, fmt.Errorf("-serve-linger %s: must be >= 0", f.serveLinger)
 	case f.serveLinger > 0 && f.serve == "":
 		return 0, fmt.Errorf("-serve-linger needs -serve")
+	case f.servePprof && f.serve == "":
+		return 0, fmt.Errorf("-serve-pprof needs -serve")
 	}
 	return sinkFormat, nil
 }
@@ -259,9 +273,21 @@ func execute(f flags) error {
 			return fmt.Errorf("-ledger-out: %w", err)
 		}
 	}
+	// Virtual-time profiler: one profiler for the whole run; every simulated
+	// nanosecond the workload spends is attributed to (thread, phase,
+	// category) and written out as pprof protobuf after the run.
+	var prof *vtprof.Profiler
+	if f.vtprofDir != "" {
+		prof = vtprof.New()
+	}
+
 	var srv *obshttp.Server
 	if f.serve != "" {
-		srv, err = obshttp.Start(f.serve, obshttp.Options{Recorder: rec})
+		opts := obshttp.Options{Recorder: rec, DebugPprof: f.servePprof}
+		if prof != nil {
+			opts.VTProf = func() ([]byte, error) { return prof.Snapshot().PprofBytes() }
+		}
+		srv, err = obshttp.Start(f.serve, opts)
 		if err != nil {
 			return err
 		}
@@ -271,7 +297,7 @@ func execute(f flags) error {
 
 	env, err := bench.NewEnv(bench.EnvConfig{
 		Preset: preset, Machine: mc, Mode: mode, Quartz: q,
-		Lookahead: 2 * sim.Microsecond,
+		Lookahead: 2 * sim.Microsecond, Profiler: prof,
 	})
 	if err != nil {
 		return err
@@ -301,6 +327,11 @@ func execute(f flags) error {
 			return err
 		}
 	}
+	if prof != nil {
+		if err := writeVTProf(prof, f.vtprofDir); err != nil {
+			return fmt.Errorf("-vtprof: %w", err)
+		}
+	}
 	if srv != nil && f.serveLinger > 0 {
 		fmt.Fprintf(os.Stderr, "quartzrun: introspection server lingering %s\n", f.serveLinger)
 		time.Sleep(f.serveLinger)
@@ -309,6 +340,32 @@ func execute(f flags) error {
 		return fmt.Errorf("ledger sink: %w", err)
 	}
 	return nil
+}
+
+// writeVTProf writes the run's virtual-time profile into dir as
+// run.pb.gz (pprof protobuf, `go tool pprof` loadable) and run.folded
+// (Brendan Gregg folded stacks, flamegraph.pl input).
+func writeVTProf(prof *vtprof.Profiler, dir string) error {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return err
+	}
+	p := prof.Snapshot()
+	b, err := p.PprofBytes()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "run.pb.gz"), b, 0o666); err != nil {
+		return err
+	}
+	ff, err := os.Create(filepath.Join(dir, "run.folded"))
+	if err != nil {
+		return err
+	}
+	werr := p.WriteFolded(ff)
+	if cerr := ff.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // exportObservability writes the trace file and/or metrics snapshot.

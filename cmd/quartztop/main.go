@@ -176,7 +176,37 @@ func probeOnce(c *client, w io.Writer) error {
 	} else {
 		fmt.Fprintln(w, "runs: no experiment runner attached")
 	}
+	if n, found, err := c.getVTProf(); err != nil {
+		return err
+	} else if found {
+		fmt.Fprintf(w, "vtprof: %d bytes\n", n)
+	} else {
+		fmt.Fprintln(w, "vtprof: no virtual-time profiler attached")
+	}
 	return nil
+}
+
+// getVTProf fetches /vtprof and reports the profile size; a 404 (no profiler
+// attached) is a normal outcome, not an error.
+func (c *client) getVTProf() (n int64, found bool, err error) {
+	resp, err := c.hc.Get(c.base + "/vtprof")
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return 0, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return 0, false, fmt.Errorf("GET /vtprof: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	n, err = io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		return 0, false, fmt.Errorf("GET /vtprof: %v", err)
+	}
+	return n, true, nil
 }
 
 // trafficEvent mirrors the "traffic" SSE event payload (obs.Event's traffic

@@ -64,6 +64,29 @@ func TestOnceProbesAllEndpoints(t *testing.T) {
 	if !strings.Contains(stdout, "runs: 1/4 jobs done") {
 		t.Errorf("runs summary wrong:\n%s", stdout)
 	}
+	// No profiler attached: /vtprof 404 is a normal outcome, not an error.
+	if !strings.Contains(stdout, "vtprof: no virtual-time profiler attached") {
+		t.Errorf("missing no-profiler line:\n%s", stdout)
+	}
+}
+
+// TestOnceVTProf: with a profiler attached, the probe reports the profile's
+// byte size instead of the 404 line.
+func TestOnceVTProf(t *testing.T) {
+	rec := obs.New(0)
+	payload := []byte("pprof-bytes-here")
+	srv := httptest.NewServer(obshttp.Handler(obshttp.Options{
+		Recorder: rec,
+		VTProf:   func() ([]byte, error) { return payload, nil },
+	}))
+	t.Cleanup(srv.Close)
+	code, stdout, stderr := runCLI(t, "-addr", srv.URL, "-once")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	if want := fmt.Sprintf("vtprof: %d bytes", len(payload)); !strings.Contains(stdout, want) {
+		t.Errorf("missing %q:\n%s", want, stdout)
+	}
 }
 
 // TestOnceWithoutRunner: /runs 404 is reported, not treated as an error.

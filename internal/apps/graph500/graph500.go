@@ -10,9 +10,13 @@ import (
 	"fmt"
 
 	"github.com/quartz-emu/quartz/internal/apps/pagerank"
+	"github.com/quartz-emu/quartz/internal/obs/vtprof"
 	"github.com/quartz-emu/quartz/internal/sim"
 	"github.com/quartz-emu/quartz/internal/simos"
 )
+
+// phaseBFS frames the BFS kernel in vtprof output.
+var phaseBFS = vtprof.Intern("bfs")
 
 // Result reports one BFS run.
 type Result struct {
@@ -55,6 +59,8 @@ func BFS(g *pagerank.Graph, t *simos.Thread, root int, alloc pagerank.Alloc) (Re
 	frontier := []int32{int32(root)}
 	visited[root] = true
 	parent[root] = int32(root)
+	t.PushPhase(phaseBFS)
+	defer t.PopPhase()
 
 	var res Result
 	res.Visited = 1

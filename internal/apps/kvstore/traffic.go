@@ -3,9 +3,14 @@ package kvstore
 import (
 	"fmt"
 
+	"github.com/quartz-emu/quartz/internal/obs/vtprof"
 	"github.com/quartz-emu/quartz/internal/simos"
 	"github.com/quartz-emu/quartz/internal/workload"
 )
+
+// phaseTrafficPreload frames the store preload in vtprof output (the op
+// phases themselves come from the traffic engine's op-kind tagging).
+var phaseTrafficPreload = vtprof.Intern("traffic-preload")
 
 // TrafficTarget adapts a Store to the traffic engine's workload.Target
 // surface, adding the same per-key payload touches the validation workload
@@ -58,6 +63,8 @@ func (tt *TrafficTarget) touchValue(t *simos.Thread, key uint64, write bool) {
 // Preload inserts keys 0..count-1 from th, writing each payload, so scans
 // over the traffic key space find dense runs.
 func (tt *TrafficTarget) Preload(th *simos.Thread, count uint64) error {
+	th.PushPhase(phaseTrafficPreload)
+	defer th.PopPhase()
 	for k := uint64(0); k < count; k++ {
 		if err := tt.s.Put(th, k, k); err != nil {
 			return fmt.Errorf("kvstore: traffic preload: %w", err)

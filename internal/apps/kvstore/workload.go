@@ -3,9 +3,17 @@ package kvstore
 import (
 	"fmt"
 
+	"github.com/quartz-emu/quartz/internal/obs/vtprof"
 	"github.com/quartz-emu/quartz/internal/sim"
 	"github.com/quartz-emu/quartz/internal/simos"
 	"github.com/quartz-emu/quartz/internal/workload"
+)
+
+// Coarse vtprof phases: the preload (setup, off the measured window) and the
+// measured op loop.
+var (
+	phasePreload = vtprof.Intern("kv-preload")
+	phaseOps     = vtprof.Intern("kv-ops")
 )
 
 // WorkloadConfig drives the §4.7 put/get experiment.
@@ -97,13 +105,16 @@ func RunWorkload(s *Store, main *simos.Thread, cfg WorkloadConfig, closeEpoch fu
 	// this figure's historical generator bit-for-bit (golden-checked).
 	dist := workload.Uniform{Keys: keySpace}
 	pre := workload.NewLCG(workload.PreloadState(cfg.Seed))
+	main.PushPhase(phasePreload)
 	for i := 0; i < cfg.Preload; i++ {
 		key := dist.Key(&pre)
 		if err := s.Put(main, key, uint64(i)); err != nil {
+			main.PopPhase()
 			return WorkloadResult{}, fmt.Errorf("kvstore: preload: %w", err)
 		}
 		touchValue(main, key, true)
 	}
+	main.PopPhase()
 
 	// Start rendezvous: every worker checks in after it is created and
 	// (under an emulator) registered; only then does main open the measured
@@ -131,6 +142,8 @@ func RunWorkload(s *Store, main *simos.Thread, cfg WorkloadConfig, closeEpoch fu
 			}
 			startMu.Unlock(t)
 			r := workload.NewLCG(workload.ClientState(cfg.Seed, w))
+			t.PushPhase(phaseOps)
+			defer t.PopPhase()
 			for i := 0; i < cfg.OpsPerThread; i++ {
 				key := dist.Key(&r)
 				if workload.GetDraw(&r, cfg.GetFraction) {

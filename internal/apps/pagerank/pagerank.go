@@ -4,9 +4,13 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/quartz-emu/quartz/internal/obs/vtprof"
 	"github.com/quartz-emu/quartz/internal/sim"
 	"github.com/quartz-emu/quartz/internal/simos"
 )
+
+// phaseRun frames the whole power-iteration kernel in vtprof output.
+var phaseRun = vtprof.Intern("pagerank")
 
 // Config parameterizes a PageRank computation.
 type Config struct {
@@ -79,6 +83,8 @@ func Run(g *Graph, t *simos.Thread, cfg Config, alloc Alloc) (Result, error) {
 
 	batch := make([]uintptr, 0, cfg.GatherWidth)
 	srcs := make([]int32, 0, cfg.GatherWidth)
+	t.PushPhase(phaseRun)
+	defer t.PopPhase()
 	start := t.Now()
 	var res Result
 	for iter := 0; iter < cfg.MaxIters; iter++ {

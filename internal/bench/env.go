@@ -16,6 +16,7 @@ import (
 
 	"github.com/quartz-emu/quartz/internal/core"
 	"github.com/quartz-emu/quartz/internal/machine"
+	"github.com/quartz-emu/quartz/internal/obs/vtprof"
 	"github.com/quartz-emu/quartz/internal/sim"
 	"github.com/quartz-emu/quartz/internal/simos"
 )
@@ -64,6 +65,11 @@ type EnvConfig struct {
 	// OSOptions overrides the simulated-OS cost model (zero value uses
 	// DefaultOptions with the binding the mode requires).
 	OSOptions *simos.Options
+	// Profiler, when non-nil, attaches a virtual-time profiler to the
+	// process: every thread's simulated time is attributed by (phase stack,
+	// category) and folded into it. Trial-parallel units may share one
+	// profiler; the fold is commutative. Nil (the default) is inert.
+	Profiler *vtprof.Profiler
 }
 
 // Env is one assembled machine + process (+ optional emulator).
@@ -103,6 +109,9 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 	proc, err := simos.NewProcess(mach, opts)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Profiler != nil {
+		proc.SetProfiler(cfg.Profiler)
 	}
 	env := &Env{Mach: mach, Proc: proc, Mode: cfg.Mode}
 	if cfg.Mode == Emulated {

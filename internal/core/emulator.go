@@ -503,6 +503,10 @@ func (e *Emulator) endEpoch(ts *threadState, reason epochReason) {
 		e.inject(ts, d)
 		injEnd = t.Now()
 		injected = d
+		// Attribute the injected span to the profiler's inject categories
+		// (split read/write by the epoch's writeDelay share); the spin's
+		// cycle-quantization overshoot lands in sched_wait.
+		t.AccountInjected(d, writeDelay, delay)
 	}
 
 	if e.cfg.DisableAmortization {

@@ -9,6 +9,7 @@ import (
 	"github.com/quartz-emu/quartz/internal/bench"
 	"github.com/quartz-emu/quartz/internal/core"
 	"github.com/quartz-emu/quartz/internal/machine"
+	"github.com/quartz-emu/quartz/internal/obs/vtprof"
 	"github.com/quartz-emu/quartz/internal/sim"
 	"github.com/quartz-emu/quartz/internal/stats"
 )
@@ -18,13 +19,14 @@ import (
 // few operations at the default minimum epoch; per §3.2's tuning guidance
 // the minimum epoch is raised until the epoch-creation overhead is
 // amortizable (<4%), which the emulator's statistics feedback confirms.
-func kvRun(s Scale, preset machine.Preset, mode bench.Mode, q core.Config, threads int, seed uint64) (kvstore.WorkloadResult, error) {
+func kvRun(s Scale, preset machine.Preset, mode bench.Mode, q core.Config, threads int, seed uint64, prof *vtprof.Profiler) (kvstore.WorkloadResult, error) {
 	if q.MinEpoch != 0 && q.MinEpoch < 50*sim.Microsecond {
 		q.MinEpoch = 50 * sim.Microsecond
 	}
 	env, err := bench.NewEnv(bench.EnvConfig{
 		Preset: preset, Machine: appMachine(preset, kvL3Bytes), Mode: mode, Quartz: q,
 		Lookahead: 2 * sim.Microsecond,
+		Profiler:  prof,
 	})
 	if err != nil {
 		return kvstore.WorkloadResult{}, err
@@ -67,12 +69,14 @@ func fig15Jobs(s Scale) JobSet {
 				Params: map[string]string{"threads": strconv.Itoa(threads), "trial": strconv.Itoa(trial)},
 				Run: func() (Metrics, error) {
 					seed := uint64(trial*101 + threads)
+					prof := s.profiler(js.ID, fmt.Sprintf("threads=%d/trial=%d", threads, trial))
 					// The Conf_2 and Conf_1 runs are independent simulations
-					// — parallel units under -trial-parallel.
+					// — parallel units under -trial-parallel; both fold into
+					// the job's profiler (the fold is commutative).
 					var phys, emu kvstore.WorkloadResult
 					err := runUnits(s, 2, func(u int) error {
 						if u == 0 {
-							p, err := kvRun(s, preset, bench.PhysicalRemote, core.Config{}, threads, seed)
+							p, err := kvRun(s, preset, bench.PhysicalRemote, core.Config{}, threads, seed, prof)
 							if err != nil {
 								return trialErr("fig15 physical", trial, err)
 							}
@@ -80,7 +84,7 @@ func fig15Jobs(s Scale) JobSet {
 							return nil
 						}
 						e, err := kvRun(s, preset, bench.Emulated,
-							quartzConfig(bench.RemoteLatNS(preset)), threads, seed)
+							quartzConfig(bench.RemoteLatNS(preset)), threads, seed, prof)
 						if err != nil {
 							return trialErr("fig15 emulated", trial, err)
 						}
@@ -130,10 +134,11 @@ func fig15Jobs(s Scale) JobSet {
 func Fig15(s Scale) (Table, error) { return fig15Jobs(s).runSerial() }
 
 // prRun runs PageRank once in a fresh environment, reporting the kernel CT.
-func prRun(s Scale, mode bench.Mode, q core.Config, seed uint64) (pagerank.Result, error) {
+func prRun(s Scale, mode bench.Mode, q core.Config, seed uint64, prof *vtprof.Profiler) (pagerank.Result, error) {
 	env, err := bench.NewEnv(bench.EnvConfig{
 		Preset: machine.XeonE5_2450, Machine: appMachine(machine.XeonE5_2450, prL3Bytes),
 		Mode: mode, Quartz: q,
+		Profiler: prof,
 	})
 	if err != nil {
 		return pagerank.Result{}, err
@@ -174,19 +179,21 @@ func pageRankValidationJobs(s Scale) JobSet {
 			Params: map[string]string{"trial": strconv.Itoa(trial)},
 			Run: func() (Metrics, error) {
 				seed := uint64(trial + 5)
+				prof := s.profiler(js.ID, fmt.Sprintf("trial=%d", trial))
 				// The Conf_2 and Conf_1 runs are independent simulations —
-				// parallel units under -trial-parallel.
+				// parallel units under -trial-parallel; both fold into the
+				// job's profiler (the fold is commutative).
 				var phys, emu pagerank.Result
 				err := runUnits(s, 2, func(u int) error {
 					if u == 0 {
-						p, err := prRun(s, bench.PhysicalRemote, core.Config{}, seed)
+						p, err := prRun(s, bench.PhysicalRemote, core.Config{}, seed, prof)
 						if err != nil {
 							return trialErr("pagerank physical", trial, err)
 						}
 						phys = p
 						return nil
 					}
-					e, err := prRun(s, bench.Emulated, quartzConfig(bench.RemoteLatNS(machine.XeonE5_2450)), seed)
+					e, err := prRun(s, bench.Emulated, quartzConfig(bench.RemoteLatNS(machine.XeonE5_2450)), seed, prof)
 					if err != nil {
 						return trialErr("pagerank emulated", trial, err)
 					}
@@ -276,7 +283,8 @@ func fig16Jobs(s Scale) JobSet {
 				Name:   pt.sweep + "=" + pt.setting + "/pagerank",
 				Params: map[string]string{"sweep": pt.sweep, "setting": pt.setting, "app": "pagerank"},
 				Run: func() (Metrics, error) {
-					pr, err := prRun(s, bench.Emulated, pt.q, 5)
+					name := pt.sweep + "=" + pt.setting + "/pagerank"
+					pr, err := prRun(s, bench.Emulated, pt.q, 5, s.profiler(js.ID, name))
 					if err != nil {
 						return nil, fmt.Errorf("fig16 %s %s: %w", pt.sweep, pt.setting, err)
 					}
@@ -287,7 +295,8 @@ func fig16Jobs(s Scale) JobSet {
 				Name:   pt.sweep + "=" + pt.setting + "/kvstore",
 				Params: map[string]string{"sweep": pt.sweep, "setting": pt.setting, "app": "kvstore"},
 				Run: func() (Metrics, error) {
-					kv, err := kvRun(s, machine.XeonE5_2450, bench.Emulated, pt.q, 4, 5)
+					name := pt.sweep + "=" + pt.setting + "/kvstore"
+					kv, err := kvRun(s, machine.XeonE5_2450, bench.Emulated, pt.q, 4, 5, s.profiler(js.ID, name))
 					if err != nil {
 						return nil, fmt.Errorf("fig16 %s %s: %w", pt.sweep, pt.setting, err)
 					}

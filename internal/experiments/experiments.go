@@ -8,6 +8,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"github.com/quartz-emu/quartz/internal/obs/vtprof"
 )
 
 // Scale sizes the sweeps. Quick keeps every experiment in seconds for tests
@@ -78,6 +80,15 @@ type Scale struct {
 	// Sparse trims sweep grids (fewer latency points / patterns) for
 	// quick runs; Full uses the paper's complete grids.
 	Sparse bool
+	// Profiles, when non-nil, attaches a virtual-time profiler per job
+	// (keyed "setID/jobName"): the instrumented experiments pass it into
+	// their environments so every simulated nanosecond is attributed by
+	// (thread, phase stack, category). quartzbench exposes it as -vtprof.
+	// Nil (the default) keeps every simulation byte-identical to an
+	// unprofiled run. Trial-parallel units of one job share its profiler;
+	// the fold is commutative, so profiles are identical for any
+	// -parallel x -trial-parallel layout.
+	Profiles *vtprof.Suite
 	// TrialParallel bounds the goroutines one job may use to run its
 	// independent units — repeated trials, or the paired/variant simulations
 	// of one sweep point (Conf_1 vs Conf_2, model variants) — concurrently.

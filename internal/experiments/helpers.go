@@ -8,6 +8,7 @@ import (
 	"github.com/quartz-emu/quartz/internal/bench"
 	"github.com/quartz-emu/quartz/internal/core"
 	"github.com/quartz-emu/quartz/internal/machine"
+	"github.com/quartz-emu/quartz/internal/obs/vtprof"
 	"github.com/quartz-emu/quartz/internal/sim"
 	"github.com/quartz-emu/quartz/internal/simos"
 )
@@ -23,6 +24,14 @@ func quartzConfig(nvmNS float64) core.Config {
 		MinEpoch:   10 * sim.Microsecond,
 		InitCycles: 1,
 	}
+}
+
+// profiler resolves the vtprof profiler for job jobName of set setID — the
+// "setID/jobName" key matches the runner's job IDs, so -vtprof output files
+// line up with -progress and result-sink job identities. A nil Profiles
+// suite yields a nil (inert) profiler.
+func (s Scale) profiler(setID, jobName string) *vtprof.Profiler {
+	return s.Profiles.Job(setID + "/" + jobName)
 }
 
 // runMemLat builds and runs one MemLat trial in a fresh environment,

@@ -25,6 +25,7 @@ func fig11Jobs(s Scale) JobSet {
 				Name:   fmt.Sprintf("%s/chains=%d", pr.label, chains),
 				Params: map[string]string{"family": pr.label, "chains": strconv.Itoa(chains)},
 				Run: func() (Metrics, error) {
+					prof := s.profiler(js.ID, fmt.Sprintf("%s/chains=%d", pr.label, chains))
 					// Each trial's Conf_2 and Conf_1 runs are independent
 					// simulations, so they form 2*Trials parallel units:
 					// unit u is trial u/2, physical on even u, emulated on
@@ -39,7 +40,10 @@ func fig11Jobs(s Scale) JobSet {
 							Seed: int64(trial*31 + chains),
 						}
 						if u%2 == 0 {
-							p, err := runMemLat(bench.EnvConfig{Preset: pr.preset, Mode: bench.PhysicalRemote}, mlCfg)
+							p, err := runMemLat(bench.EnvConfig{
+								Preset: pr.preset, Mode: bench.PhysicalRemote,
+								Profiler: prof,
+							}, mlCfg)
 							if err != nil {
 								return trialErr("fig11 physical", trial, err)
 							}
@@ -48,7 +52,8 @@ func fig11Jobs(s Scale) JobSet {
 						}
 						e, err := runMemLat(bench.EnvConfig{
 							Preset: pr.preset, Mode: bench.Emulated,
-							Quartz: quartzConfig(bench.RemoteLatNS(pr.preset)),
+							Quartz:   quartzConfig(bench.RemoteLatNS(pr.preset)),
+							Profiler: prof,
 						}, mlCfg)
 						if err != nil {
 							return trialErr("fig11 emulated", trial, err)
@@ -111,11 +116,13 @@ func fig12Jobs(s Scale) JobSet {
 				Name:   fmt.Sprintf("%s/target=%.0f", pr.label, target),
 				Params: map[string]string{"family": pr.label, "target_ns": fmt.Sprintf("%.0f", target)},
 				Run: func() (Metrics, error) {
+					prof := s.profiler(js.ID, fmt.Sprintf("%s/target=%.0f", pr.label, target))
 					lats := make([]sim.Time, s.Trials)
 					err := runUnits(s, s.Trials, func(trial int) error {
 						res, err := runMemLat(bench.EnvConfig{
 							Preset: pr.preset, Mode: bench.Emulated,
-							Quartz: quartzConfig(target),
+							Quartz:   quartzConfig(target),
+							Profiler: prof,
 						}, bench.MemLatConfig{
 							Lines: s.Lines, Chains: 1, Iters: s.MemLatIters,
 							Seed: int64(trial*13 + int(target)),
@@ -222,11 +229,14 @@ func fig13Jobs(s Scale) JobSet {
 							"threads": strconv.Itoa(threads), "setting": st.name,
 						},
 						Run: func() (Metrics, error) {
+							prof := s.profiler(js.ID,
+								fmt.Sprintf("%s/%s/threads=%d/%s", pr.label, variant.name, threads, st.name))
 							cts := make([]sim.Time, s.Trials)
 							err := runUnits(s, s.Trials, func(trial int) error {
 								env, err := bench.NewEnv(bench.EnvConfig{
 									Preset: pr.preset, Mode: mode, Quartz: q,
 									Lookahead: 2 * sim.Microsecond,
+									Profiler:  prof,
 								})
 								if err != nil {
 									return trialErr("fig13", trial, err)

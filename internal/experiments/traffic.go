@@ -8,6 +8,7 @@ import (
 	"github.com/quartz-emu/quartz/internal/bench"
 	"github.com/quartz-emu/quartz/internal/machine"
 	"github.com/quartz-emu/quartz/internal/obs"
+	"github.com/quartz-emu/quartz/internal/obs/vtprof"
 	"github.com/quartz-emu/quartz/internal/sim"
 	"github.com/quartz-emu/quartz/internal/workload"
 )
@@ -36,7 +37,7 @@ func trafficSeed(mixIdx, latIdx, clients int) uint64 {
 // a zipfian-keyed, preloaded KV store served by a bounded pool under the
 // given mix and client count. Epoch tuning matches kvRun (raised minimum
 // epoch per §3.2 so sub-microsecond critical sections amortize).
-func trafficRun(s Scale, mixName string, latNS float64, clients int, seed uint64) (workload.ScenarioResult, error) {
+func trafficRun(s Scale, mixName string, latNS float64, clients int, seed uint64, prof *vtprof.Profiler) (workload.ScenarioResult, error) {
 	mix, ok := workload.MixByName(mixName)
 	if !ok {
 		return workload.ScenarioResult{}, fmt.Errorf("experiments: unknown traffic mix %q (known: %v)",
@@ -50,6 +51,7 @@ func trafficRun(s Scale, mixName string, latNS float64, clients int, seed uint64
 		Preset: machine.XeonE5_2450, Machine: appMachine(machine.XeonE5_2450, kvL3Bytes),
 		Mode: bench.Emulated, Quartz: q,
 		Lookahead: 2 * sim.Microsecond,
+		Profiler:  prof,
 	})
 	if err != nil {
 		return workload.ScenarioResult{}, err
@@ -128,7 +130,8 @@ func trafficSweepJobs(s Scale) JobSet {
 						"clients": strconv.Itoa(clients),
 					},
 					Run: func() (Metrics, error) {
-						res, err := trafficRun(s, mixName, latNS, clients, seed)
+						name := fmt.Sprintf("%s/lat=%.0fns/clients=%d", mixName, latNS, clients)
+						res, err := trafficRun(s, mixName, latNS, clients, seed, s.profiler(js.ID, name))
 						if err != nil {
 							return nil, fmt.Errorf("traffic-sweep %s lat=%.0f clients=%d: %w",
 								mixName, latNS, clients, err)
@@ -201,7 +204,8 @@ func trafficSLOJobs(s Scale) JobSet {
 				"clients": strconv.Itoa(clients),
 			},
 			Run: func() (Metrics, error) {
-				res, err := trafficRun(s, mixName, latNS, clients, seed)
+				name := fmt.Sprintf("%s/clients=%d", mixName, clients)
+				res, err := trafficRun(s, mixName, latNS, clients, seed, s.profiler(js.ID, name))
 				if err != nil {
 					return nil, fmt.Errorf("traffic-slo %s: %w", mixName, err)
 				}
@@ -270,7 +274,8 @@ func trafficMegaJobs(s Scale) JobSet {
 				"clients": strconv.Itoa(clients),
 			},
 			Run: func() (Metrics, error) {
-				res, err := trafficRun(ms, mixName, latNS, clients, seed)
+				name := fmt.Sprintf("clients=%d", clients)
+				res, err := trafficRun(ms, mixName, latNS, clients, seed, s.profiler(js.ID, name))
 				if err != nil {
 					return nil, fmt.Errorf("traffic-mega clients=%d: %w", clients, err)
 				}

@@ -286,6 +286,11 @@ func (c *Controller) RegisterForBandwidth(target float64) uint16 {
 // induced by channel occupancy is added on top. Posted traffic (writebacks,
 // prefetch fills) still occupies channel slots but callers normally ignore
 // the returned completion time.
+//
+// Throttle-induced queueing is part of the returned completion time, so it
+// reaches the requesting thread as load/store latency — which is how the
+// virtual-time profiler sees it: the simos memory operations charge the
+// whole interval (device latency plus throttle stall) to vtprof.MemStall.
 func (c *Controller) Access(now sim.Time, addr uintptr, kind AccessKind, serviceLat sim.Time) sim.Time {
 	var lineIdx uintptr
 	if c.linePow2 {

@@ -8,13 +8,21 @@
 //	GET /          human-readable index
 //	GET /healthz   liveness probe ("ok")
 //	GET /metrics   metrics-registry snapshot (sorted JSON, same schema as
-//	               -metrics-out, including histogram p50/p95/p99)
+//	               -metrics-out, including histogram p50/p95/p99);
+//	               ?format=prometheus switches to the Prometheus text
+//	               exposition (cumulative _bucket/_sum/_count histograms)
 //	GET /ledger    incremental epoch-ledger cursor:
 //	               ?since=N  first sequence number wanted (default 0)
 //	               ?limit=M  max records per page (default 1000, cap 10000)
 //	GET /runs      experiment-runner suite/job status (404 without a board)
 //	GET /events    Server-Sent Events stream of live Events:
 //	               ?kinds=epoch,job  optional kind filter
+//	GET /vtprof    virtual-time profile, pprof protobuf (gzipped; 404 when
+//	               no profiler is attached)
+//
+// With Options.DebugPprof the host-side net/http/pprof handlers are mounted
+// under /debug/pprof/ — host CPU/heap profiles of the emulator itself, as
+// opposed to /vtprof's simulated-time attribution.
 //
 // Everything is read-only and safe to poll while the run mutates state;
 // see doc/live-monitoring.md for schemas and examples.
@@ -25,6 +33,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -40,6 +49,14 @@ type Options struct {
 	// Status feeds /runs; nil makes /runs respond 404 (quartzrun has no
 	// experiment runner).
 	Status *runner.StatusBoard
+	// VTProf feeds /vtprof: it returns the current virtual-time profile as
+	// gzipped pprof protobuf bytes (vtprof.Suite.PprofBytes, or a single
+	// profiler's). Nil makes /vtprof respond 404.
+	VTProf func() ([]byte, error)
+	// DebugPprof mounts net/http/pprof under /debug/pprof/ (host-side
+	// profiles of the emulator process). Off by default: the introspection
+	// plane stays read-only cheap unless explicitly asked for.
+	DebugPprof bool
 }
 
 // LedgerPage is the /ledger response schema.
@@ -67,11 +84,45 @@ func Handler(o Options) http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := o.Recorder.WriteMetricsJSON(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json")
+			if err := o.Recorder.WriteMetricsJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		case "prometheus":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := o.Recorder.WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		default:
+			http.Error(w, fmt.Sprintf("unknown format %q (want json or prometheus)", format),
+				http.StatusBadRequest)
 		}
 	})
+	mux.HandleFunc("GET /vtprof", func(w http.ResponseWriter, r *http.Request) {
+		if o.VTProf == nil {
+			http.Error(w, "no virtual-time profiler attached (run with -vtprof)", http.StatusNotFound)
+			return
+		}
+		b, err := o.VTProf()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="vtprof.pb.gz"`)
+		w.Write(b) //nolint:errcheck // client disconnects are not actionable
+	})
+	if o.DebugPprof {
+		// The default net/http/pprof handlers register on DefaultServeMux;
+		// mount them here explicitly so nothing leaks onto the default mux.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("GET /ledger", func(w http.ResponseWriter, r *http.Request) {
 		ledger(o.Recorder, w, r)
 	})
@@ -92,10 +143,11 @@ func Handler(o Options) http.Handler {
 func index(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, `quartz live introspection
-  /metrics          metrics-registry snapshot (JSON)
+  /metrics          metrics-registry snapshot (JSON; ?format=prometheus for text exposition)
   /ledger?since=N   incremental epoch-ledger cursor (JSON)
   /runs             experiment-runner suite status (JSON)
   /events           live event stream (SSE; ?kinds=epoch,inject,throttle,job)
+  /vtprof           virtual-time profile (pprof protobuf, gzipped)
   /healthz          liveness probe
 `)
 }

@@ -2,9 +2,11 @@ package obshttp
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -432,5 +434,122 @@ func TestIndexAndMethodFiltering(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("POST /metrics: %s, want 405", resp.Status)
+	}
+}
+
+// TestMetricsPrometheusFormat: ?format=prometheus switches /metrics to the
+// text exposition; the default JSON stays unchanged; an unknown format is a
+// client error.
+func TestMetricsPrometheusFormat(t *testing.T) {
+	rec := obs.New(0)
+	rec.EpochClosed(testRecord(0))
+	srv := httptest.NewServer(Handler(Options{Recorder: rec}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prometheus format: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE quartz_epochs_closed counter",
+		"quartz_epochs_closed 1",
+		"# TYPE quartz_epoch_len_ns histogram",
+		`quartz_epoch_len_ns_bucket{le="+Inf"} 1`,
+		"quartz_epoch_len_ns_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// The default stays JSON.
+	var metrics map[string]json.RawMessage
+	getJSON(t, srv.URL+"/metrics", &metrics)
+	if _, ok := metrics["quartz.epochs.closed"]; !ok {
+		t.Error("default JSON export lost quartz.epochs.closed")
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics?format=xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("format=xml: %s, want 400", resp.Status)
+	}
+}
+
+// TestVTProfEndpoint: /vtprof serves the profile bytes when a source is
+// attached and 404s when none is, so pollers can distinguish "no profiler"
+// from an error.
+func TestVTProfEndpoint(t *testing.T) {
+	payload := []byte("\x1f\x8b-not-really-gzip-but-bytes")
+	srv := httptest.NewServer(Handler(Options{
+		Recorder: obs.New(0),
+		VTProf:   func() ([]byte, error) { return payload, nil },
+	}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/vtprof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/vtprof: %s", resp.Status)
+	}
+	if !bytes.Equal(body, payload) {
+		t.Errorf("/vtprof served %d bytes, want the %d profile bytes", len(body), len(payload))
+	}
+
+	bare := httptest.NewServer(Handler(Options{Recorder: obs.New(0)}))
+	defer bare.Close()
+	resp, err = http.Get(bare.URL + "/vtprof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("no profiler: %s, want 404", resp.Status)
+	}
+}
+
+// TestDebugPprofMount: /debug/pprof/ exists only when DebugPprof is set.
+func TestDebugPprofMount(t *testing.T) {
+	on := httptest.NewServer(Handler(Options{Recorder: obs.New(0), DebugPprof: true}))
+	defer on.Close()
+	resp, err := http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("DebugPprof on: /debug/pprof/ = %s, want 200", resp.Status)
+	}
+
+	off := httptest.NewServer(Handler(Options{Recorder: obs.New(0)}))
+	defer off.Close()
+	resp, err = http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DebugPprof off: /debug/pprof/ = %s, want 404", resp.Status)
 	}
 }

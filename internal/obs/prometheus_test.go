@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPromName covers the exposition-grammar sanitization.
+func TestPromName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"quartz.epochs.closed", "quartz_epochs_closed"},
+		{"already_legal:name", "already_legal:name"},
+		{"9starts.with.digit", "_9starts_with_digit"},
+		{"spaces and-dashes", "spaces_and_dashes"},
+	}
+	for _, c := range cases {
+		if got := promName(c.in); got != c.want {
+			t.Errorf("promName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition byte-for-byte for a fixed
+// registry: sorted sanitized names, counter/gauge samples, and a histogram's
+// cumulative _bucket/_sum/_count triplet over power-of-two bounds.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("quartz.epochs.closed").Add(3)
+	reg.Gauge("obs.ledger.total").Set(2.5)
+	h := reg.Histogram("quartz.epoch.len_ns")
+	h.Observe(1)   // bucket le="1"
+	h.Observe(10)  // bucket le="16"
+	h.Observe(100) // bucket le="128"
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE obs_ledger_total gauge",
+		"obs_ledger_total 2.5",
+		"# TYPE quartz_epoch_len_ns histogram",
+		`quartz_epoch_len_ns_bucket{le="1"} 1`,
+		`quartz_epoch_len_ns_bucket{le="16"} 2`,
+		`quartz_epoch_len_ns_bucket{le="128"} 3`,
+		`quartz_epoch_len_ns_bucket{le="+Inf"} 3`,
+		"quartz_epoch_len_ns_sum 111",
+		"quartz_epoch_len_ns_count 3",
+		"# TYPE quartz_epochs_closed counter",
+		"quartz_epochs_closed 3",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusEmptyHistogram: a registered-but-unobserved histogram
+// still emits the mandatory +Inf bucket and zero sum/count.
+func TestWritePrometheusEmptyHistogram(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("t.empty")
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE t_empty histogram",
+		`t_empty_bucket{le="+Inf"} 0`,
+		"t_empty_sum 0",
+		"t_empty_count 0",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("empty histogram exposition:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestRecorderWritePrometheus: the recorder-level export refreshes the
+// ledger gauges (as WriteMetricsJSON does) and renders without error; a nil
+// recorder is a no-op.
+func TestRecorderWritePrometheus(t *testing.T) {
+	r := New(8)
+	r.EpochClosed(EpochRecord{Reason: "max"})
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"quartz_epochs_closed 1",
+		"# TYPE obs_ledger_total gauge",
+		"obs_ledger_total 1",
+		`quartz_epoch_len_ns_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("recorder exposition missing %q:\n%s", want, out)
+		}
+	}
+	var nilRec *Recorder
+	if err := nilRec.WritePrometheus(&buf); err != nil {
+		t.Errorf("nil recorder WritePrometheus: %v", err)
+	}
+}

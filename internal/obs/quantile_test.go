@@ -75,12 +75,62 @@ func TestQuantileSkewed(t *testing.T) {
 	}
 }
 
-// TestQuantileEmpty: no observations → 0, not NaN.
+// TestQuantileEmpty: no observations → an explicit 0 at every quantile, not
+// NaN and not a bucket midpoint. The snapshot path must agree, and report
+// Min = 0 rather than the atomic's uninitialized placeholder.
 func TestQuantileEmpty(t *testing.T) {
 	reg := NewRegistry()
 	h := reg.Histogram("t.empty")
-	if got := h.Quantile(0.5); got != 0 {
-		t.Errorf("empty histogram Quantile = %v, want 0", got)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	hs := h.Snapshot()
+	if hs.P50 != 0 || hs.P95 != 0 || hs.P99 != 0 {
+		t.Errorf("empty snapshot quantiles = %v/%v/%v, want 0/0/0", hs.P50, hs.P95, hs.P99)
+	}
+	if hs.Min != 0 || hs.Max != 0 || hs.Mean != 0 {
+		t.Errorf("empty snapshot min/max/mean = %v/%v/%v, want 0/0/0", hs.Min, hs.Max, hs.Mean)
+	}
+	if hs.quantileOf(0.5) != 0 {
+		t.Errorf("empty snapshot quantileOf(0.5) = %v, want 0", hs.quantileOf(0.5))
+	}
+}
+
+// TestQuantileOneSample: a single observation clamps every quantile to that
+// exact value (min == max), at both extremes of q.
+func TestQuantileOneSample(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t.one")
+	h.Observe(37)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 37 {
+			t.Errorf("one-sample Quantile(%v) = %v, want 37", q, got)
+		}
+	}
+}
+
+// TestQuantileTwoBuckets: two observations in distinct buckets — the p50 must
+// come from the low bucket (clamped up to its observed min) and the p99 from
+// the high bucket (clamped down to the observed max), exercising the
+// cumulative walk's bucket boundary with the smallest possible population.
+func TestQuantileTwoBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t.two")
+	h.Observe(10)  // bucket (8,16], midpoint 12
+	h.Observe(100) // bucket (64,128], midpoint 96
+	if got := h.Quantile(0.5); got != 12 {
+		t.Errorf("p50 = %v, want 12 (low bucket midpoint)", got)
+	}
+	if got := h.Quantile(0.99); got != 96 {
+		t.Errorf("p99 = %v, want 96 (high bucket midpoint)", got)
+	}
+	// The direct path and the snapshot-derived path must agree.
+	hs := h.Snapshot()
+	if hs.quantileOf(0.5) != h.Quantile(0.5) || hs.quantileOf(0.99) != h.Quantile(0.99) {
+		t.Errorf("snapshot quantileOf diverges from Quantile: %v/%v vs %v/%v",
+			hs.quantileOf(0.5), hs.quantileOf(0.99), h.Quantile(0.5), h.Quantile(0.99))
 	}
 }
 

@@ -238,9 +238,26 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 
 // Quantile estimates the q-th quantile (0 < q <= 1) of the observed
 // distribution from the bucket midpoints, clamped to the observed min/max.
-// It returns 0 when nothing has been observed.
+// An empty histogram explicitly reports 0 — never NaN or a phantom bucket
+// midpoint. It reads the atomic buckets directly (no snapshot allocation),
+// so concurrent observers may land between the count and bucket loads; the
+// bucket total, not the count, drives the rank so the walk stays in range.
 func (h *Histogram) Quantile(q float64) float64 {
-	return h.Snapshot().quantileOf(q)
+	if h.count.Load() == 0 {
+		return 0
+	}
+	var counts [histBuckets]int64
+	var total int64
+	for k := range h.bkt {
+		if n := h.bkt[k].Load(); n > 0 {
+			counts[k] = n
+			total += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return quantile(counts[:], total, q, h.min.Load(), h.max.Load())
 }
 
 // quantileOf recomputes a quantile from an existing snapshot's buckets.

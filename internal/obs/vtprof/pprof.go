@@ -1,0 +1,199 @@
+package vtprof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+)
+
+// This file hand-encodes the pprof profile.proto wire format — small enough
+// that a protobuf dependency isn't warranted. Field numbers follow
+// github.com/google/pprof/proto/profile.proto:
+//
+//	Profile:  sample_type=1 sample=2 location=4 function=5 string_table=6
+//	          period_type=11 period=12 default_sample_type=14
+//	ValueType: type=1 unit=2        (string-table indices)
+//	Sample:    location_id=1 value=2 (packed)
+//	Location:  id=1 line=4
+//	Line:      function_id=1 line=2
+//	Function:  id=1 name=2 system_name=3 filename=4
+//
+// time_nanos is deliberately omitted and the gzip header carries no
+// timestamp, so identical profiles encode to identical bytes — the
+// determinism contract the parallelism tests pin.
+
+type protoBuf struct{ data []byte }
+
+func (b *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		b.data = append(b.data, byte(v)|0x80)
+		v >>= 7
+	}
+	b.data = append(b.data, byte(v))
+}
+
+func (b *protoBuf) tag(field, wire int) {
+	b.varint(uint64(field)<<3 | uint64(wire))
+}
+
+// uint64Field emits a varint field, skipping proto3 zero defaults.
+func (b *protoBuf) uint64Field(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	b.tag(field, 0)
+	b.varint(v)
+}
+
+func (b *protoBuf) int64Field(field int, v int64) {
+	b.uint64Field(field, uint64(v))
+}
+
+func (b *protoBuf) bytesField(field int, data []byte) {
+	b.tag(field, 2)
+	b.varint(uint64(len(data)))
+	b.data = append(b.data, data...)
+}
+
+func (b *protoBuf) stringField(field int, s string) {
+	b.tag(field, 2)
+	b.varint(uint64(len(s)))
+	b.data = append(b.data, s...)
+}
+
+func (b *protoBuf) packedInt64(field int, vs []int64) {
+	if len(vs) == 0 {
+		return
+	}
+	var inner protoBuf
+	for _, v := range vs {
+		inner.varint(uint64(v))
+	}
+	b.bytesField(field, inner.data)
+}
+
+func (b *protoBuf) packedUint64(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var inner protoBuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	b.bytesField(field, inner.data)
+}
+
+// WritePprof encodes the profile as gzipped pprof protobuf with two sample
+// types, virtual_ns (all simulated time) and injected_ns (the portion that
+// is epoch delay injection). Each (stack, category) pair becomes one pprof
+// sample whose leaf frame is the category, above it the phase stack
+// (deepest phase first), with the thread name as the root frame.
+func (p *Profile) WritePprof(w io.Writer) error {
+	var (
+		strs    = []string{""}
+		strIdx  = map[string]int64{"": 0}
+		funcIDs = map[string]uint64{}
+		funcs   protoBuf
+		locs    protoBuf
+	)
+	sid := func(s string) int64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := int64(len(strs))
+		strs = append(strs, s)
+		strIdx[s] = i
+		return i
+	}
+	// One function + one location per distinct frame name; location id ==
+	// function id. Frames are registered in sample order, deterministically.
+	frameLoc := func(name string) uint64 {
+		if id, ok := funcIDs[name]; ok {
+			return id
+		}
+		id := uint64(len(funcIDs) + 1)
+		funcIDs[name] = id
+		var fn protoBuf
+		fn.uint64Field(1, id)
+		fn.int64Field(2, sid(name))
+		fn.int64Field(3, sid(name))
+		fn.int64Field(4, sid("virtual"))
+		funcs.bytesField(5, fn.data)
+		var line protoBuf
+		line.uint64Field(1, id)
+		var loc protoBuf
+		loc.uint64Field(1, id)
+		loc.bytesField(4, line.data)
+		locs.bytesField(4, loc.data)
+		return id
+	}
+
+	var out protoBuf
+	valueType := func(typ, unit string) []byte {
+		var vt protoBuf
+		vt.int64Field(1, sid(typ))
+		vt.int64Field(2, sid(unit))
+		return vt.data
+	}
+	out.bytesField(1, valueType("virtual_ns", "nanoseconds"))
+	out.bytesField(1, valueType("injected_ns", "nanoseconds"))
+
+	var samples protoBuf
+	stack := make([]uint64, 0, MaxDepth+2)
+	for i := range p.Samples {
+		s := &p.Samples[i]
+		for c, v := range s.Values {
+			if v == 0 {
+				continue
+			}
+			stack = stack[:0]
+			stack = append(stack, frameLoc(Category(c).String()))
+			for j := len(s.Stack) - 1; j >= 1; j-- {
+				stack = append(stack, frameLoc(s.Stack[j]))
+			}
+			if len(s.Stack) > 0 {
+				stack = append(stack, frameLoc(s.Stack[0]))
+			}
+			inj := int64(0)
+			if Category(c) == InjectRead || Category(c) == InjectWrite {
+				inj = v
+			}
+			var sm protoBuf
+			sm.packedUint64(1, stack)
+			sm.packedInt64(2, []int64{v, inj})
+			samples.bytesField(2, sm.data)
+		}
+	}
+	out.data = append(out.data, samples.data...)
+	out.data = append(out.data, locs.data...)
+	out.data = append(out.data, funcs.data...)
+
+	out.bytesField(11, valueType("virtual_ns", "nanoseconds"))
+	out.int64Field(12, 1)
+	out.int64Field(14, sid("virtual_ns"))
+	// string_table last: sid registrations above must all have landed.
+	// Field order within a message is free in protobuf; decoders
+	// (including go tool pprof) accept any order.
+	var table protoBuf
+	for _, s := range strs {
+		table.stringField(6, s)
+	}
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(table.data); err != nil {
+		return err
+	}
+	if _, err := gz.Write(out.data); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// PprofBytes renders WritePprof to a byte slice.
+func (p *Profile) PprofBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := p.WritePprof(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package vtprof
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation gates skip under it because its instrumentation allocates.
+const raceEnabled = true

@@ -1,6 +1,10 @@
 package simos
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/quartz-emu/quartz/internal/obs/vtprof"
+)
 
 // Barrier is an OpenMP-style thread barrier. The paper's conclusion lists
 // barrier-like parallel-programming constructs among the inter-thread
@@ -42,6 +46,7 @@ func doBarrierWait(t *Thread, b *Barrier) {
 	if b.count < b.parties {
 		b.waiting = append(b.waiting, t)
 		t.coro.Block()
+		t.vtCharge(vtprof.SyncWait)
 		t.checkSignals()
 		return
 	}

@@ -12,6 +12,7 @@ import (
 
 	"github.com/quartz-emu/quartz/internal/machine"
 	"github.com/quartz-emu/quartz/internal/obs"
+	"github.com/quartz-emu/quartz/internal/obs/vtprof"
 	"github.com/quartz-emu/quartz/internal/sim"
 	"github.com/quartz-emu/quartz/internal/trace"
 )
@@ -68,7 +69,8 @@ type Process struct {
 	handlers map[Signal]Handler
 	heap     []uintptr // per-node bump pointers
 	tracer   *trace.Buffer
-	rec      *obs.Recorder // nil-safe observability sink
+	rec      *obs.Recorder    // nil-safe observability sink
+	prof     *vtprof.Profiler // nil-safe virtual-time profiler
 
 	started bool
 }
@@ -146,6 +148,13 @@ func (p *Process) Run(fn ThreadFunc) error {
 		return err
 	}
 	err := p.kern.Run()
+	if p.prof != nil {
+		// Threads fold their series in finish(); an aborted run leaves some
+		// unfolded, so sweep them here (Fold is idempotent).
+		for _, t := range p.threads {
+			t.vt.Fold(t.coro.Clock())
+		}
+	}
 	p.rec.KernelRun(p.kern.Stats())
 	if err != nil {
 		return fmt.Errorf("simos: %w", err)
@@ -160,6 +169,16 @@ func (p *Process) SetRecorder(r *obs.Recorder) { p.rec = r }
 
 // Recorder reports the installed observability recorder (nil when unset).
 func (p *Process) Recorder() *obs.Recorder { return p.rec }
+
+// SetProfiler installs a virtual-time profiler before the process runs:
+// every thread created from then on carries a vtprof series, the simos
+// operations charge their time categories against it, and threads fold into
+// the profiler as they exit. A nil profiler (the default) leaves every
+// charge site a single pointer test and the simulation byte-identical.
+func (p *Process) SetProfiler(prof *vtprof.Profiler) { p.prof = prof }
+
+// Profiler reports the installed virtual-time profiler (nil when unset).
+func (p *Process) Profiler() *vtprof.Profiler { return p.prof }
 
 // EndTime reports the virtual time at which the last thread finished. Valid
 // after Run returns.
@@ -233,6 +252,7 @@ func (p *Process) newThread(parent *Thread, name string, fn ThreadFunc, socket i
 	if parent != nil {
 		at = parent.coro.Clock() + startDelay
 	}
+	t.vt = p.prof.NewThread(name, at)
 	t.coro = p.kern.Spawn(name, at, body)
 	return t, nil
 }

@@ -1,6 +1,9 @@
 package simos
 
-import "github.com/quartz-emu/quartz/internal/trace"
+import (
+	"github.com/quartz-emu/quartz/internal/obs/vtprof"
+	"github.com/quartz-emu/quartz/internal/trace"
+)
 
 // RWMutex is a POSIX-style reader-writer lock (pthread_rwlock) with writer
 // preference. Releases route through the process function table so an
@@ -42,6 +45,7 @@ func doRWLockShared(t *Thread, m *RWMutex) {
 	for m.writer != nil || len(m.waitersW) > 0 {
 		m.waitersR = append(m.waitersR, t)
 		t.coro.Block()
+		t.vtCharge(vtprof.SyncWait)
 		t.checkSignals()
 		t.coro.Strict()
 	}
@@ -57,6 +61,7 @@ func doRWLockExclusive(t *Thread, m *RWMutex) {
 	for m.writer != nil || m.readers > 0 {
 		m.waitersW = append(m.waitersW, t)
 		t.coro.Block()
+		t.vtCharge(vtprof.SyncWait)
 		t.checkSignals()
 		t.coro.Strict()
 	}

@@ -1,6 +1,9 @@
 package simos
 
-import "github.com/quartz-emu/quartz/internal/trace"
+import (
+	"github.com/quartz-emu/quartz/internal/obs/vtprof"
+	"github.com/quartz-emu/quartz/internal/trace"
+)
 
 // Mutex is a POSIX-style mutex with FIFO handoff. Lock and Unlock route
 // through the process function table, the interposition point Quartz uses to
@@ -46,6 +49,7 @@ func doLock(t *Thread, m *Mutex) {
 		t.proc.rec.ContendedWait()
 		m.waiters = append(m.waiters, t)
 		t.coro.Block()
+		t.vtCharge(vtprof.SyncWait)
 		// Handlers (e.g. epoch delay injection) run before the retry.
 		t.checkSignals()
 		t.coro.Strict()
@@ -100,6 +104,7 @@ func (c *Cond) Wait(t *Thread, m *Mutex) {
 	// the inter-thread communication event it must inject delay before.
 	t.proc.table.MutexUnlock(t, m)
 	t.coro.Block()
+	t.vtCharge(vtprof.SyncWait)
 	t.checkSignals()
 	m.Lock(t)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/quartz-emu/quartz/internal/cpu"
+	"github.com/quartz-emu/quartz/internal/obs/vtprof"
 	"github.com/quartz-emu/quartz/internal/sim"
 	"github.com/quartz-emu/quartz/internal/trace"
 )
@@ -24,6 +25,10 @@ type Thread struct {
 	done       bool
 	endClock   sim.Time
 	joiners    []*Thread
+
+	// vt is the thread's virtual-time profiler series; nil (the default)
+	// keeps every charge a single pointer test. See Process.SetProfiler.
+	vt *vtprof.ThreadSeries
 }
 
 // TID reports the thread id.
@@ -75,10 +80,49 @@ func (t *Thread) traceAddr(kind trace.Kind, addr uintptr) {
 	}
 }
 
-// finish runs after the thread body returns: it wakes joiners.
+// PushPhase enters an interned profiling phase (vtprof.Intern) on this
+// thread's phase stack. With no profiler attached it is a no-op costing one
+// branch; with one attached it is allocation-free in the steady state. Time
+// is attributed to the phase stack in effect when each interval is charged,
+// so a push takes effect from the thread's next time-advancing operation.
+func (t *Thread) PushPhase(p vtprof.Phase) {
+	if t.vt != nil {
+		t.vt.Push(p)
+	}
+}
+
+// PopPhase leaves the current profiling phase.
+func (t *Thread) PopPhase() {
+	if t.vt != nil {
+		t.vt.Pop()
+	}
+}
+
+// vtCharge attributes virtual time elapsed since the last charge to cat.
+func (t *Thread) vtCharge(cat vtprof.Category) {
+	if t.vt != nil {
+		t.vt.Charge(cat, t.coro.Clock())
+	}
+}
+
+// AccountInjected attributes an epoch's injected delay (the interval since
+// the last charge) to the inject categories, split read/write by the
+// epoch's writeDelay share of totalDelay; internal/core calls it right
+// after the injection spin. With no profiler attached it is a no-op.
+func (t *Thread) AccountInjected(injected, writeDelay, totalDelay sim.Time) {
+	if t.vt != nil {
+		t.vt.ChargeInjected(t.coro.Clock(), injected, writeDelay, totalDelay)
+	}
+}
+
+// finish runs after the thread body returns: it wakes joiners and folds the
+// thread's profiler series into the job profile.
 func (t *Thread) finish() {
 	t.done = true
 	t.endClock = t.coro.Clock()
+	if t.vt != nil {
+		t.vt.Fold(t.endClock)
+	}
 	t.coro.Strict()
 	for _, j := range t.joiners {
 		t.coro.Unblock(j.coro, t.endClock+t.proc.cyc(t.proc.opts.MutexHandoffCycles, t))
@@ -99,6 +143,7 @@ func (t *Thread) Compute(n int64) {
 	}
 	t.coro.Sync()
 	t.coro.Advance(t.core.ComputeTime(t.coro.Clock(), n))
+	t.vtCharge(vtprof.Compute)
 }
 
 // ComputeFor advances the thread by a wall-clock duration of computation.
@@ -107,6 +152,7 @@ func (t *Thread) ComputeFor(d sim.Time) {
 	if d > 0 {
 		t.coro.Sync()
 		t.coro.Advance(d)
+		t.vtCharge(vtprof.Compute)
 	}
 }
 
@@ -117,6 +163,7 @@ func (t *Thread) Load(addr uintptr) {
 	t.traceAddr(trace.KindLoad, addr)
 	lat, _ := t.core.Load(t.coro.Clock(), addr)
 	t.coro.Advance(lat)
+	t.vtCharge(vtprof.MemStall)
 }
 
 // LoadGroup performs independent loads in parallel (memory-level
@@ -128,6 +175,7 @@ func (t *Thread) LoadGroup(addrs []uintptr) {
 	}
 	t.coro.Sync()
 	t.coro.Advance(t.core.LoadGroup(t.coro.Clock(), addrs))
+	t.vtCharge(vtprof.MemStall)
 }
 
 // LoadRun performs n dependent demand loads at addr, addr+stride, … — the
@@ -144,6 +192,9 @@ func (t *Thread) LoadRun(addr, stride uintptr, n int) {
 		t.coro.Advance(lat)
 		addr += stride
 	}
+	// One charge covers the whole batch: any epoch closed mid-run by
+	// checkSignals charged (and re-watermarked) its own interval already.
+	t.vtCharge(vtprof.MemStall)
 }
 
 // StoreRun performs n posted stores at addr, addr+stride, …, each with the
@@ -156,6 +207,7 @@ func (t *Thread) StoreRun(addr, stride uintptr, n int) {
 		t.coro.Advance(t.core.Store(t.coro.Clock(), addr))
 		addr += stride
 	}
+	t.vtCharge(vtprof.MemStall)
 }
 
 // LoadGroupRun is LoadGroup over the arithmetic address sequence addr,
@@ -168,6 +220,7 @@ func (t *Thread) LoadGroupRun(addr, stride uintptr, n int) {
 	}
 	t.coro.Sync()
 	t.coro.Advance(t.core.LoadGroupRun(t.coro.Clock(), addr, stride, n))
+	t.vtCharge(vtprof.MemStall)
 }
 
 // Store performs one posted store to the simulated address.
@@ -176,6 +229,7 @@ func (t *Thread) Store(addr uintptr) {
 	t.coro.Sync()
 	t.traceAddr(trace.KindStore, addr)
 	t.coro.Advance(t.core.Store(t.coro.Clock(), addr))
+	t.vtCharge(vtprof.MemStall)
 }
 
 // Flush writes back and invalidates the cache line holding addr (clflush),
@@ -190,6 +244,7 @@ func (t *Thread) Flush(addr uintptr) {
 	if wbDone > t.coro.Clock() {
 		t.coro.AdvanceTo(wbDone)
 	}
+	t.vtCharge(vtprof.MemStall)
 }
 
 // FlushOpt writes back and invalidates the line without stalling for the
@@ -200,6 +255,7 @@ func (t *Thread) FlushOpt(addr uintptr) sim.Time {
 	t.coro.Sync()
 	lat, wbDone := t.core.Flush(t.coro.Clock(), addr)
 	t.coro.Advance(lat)
+	t.vtCharge(vtprof.MemStall)
 	return wbDone
 }
 
@@ -207,17 +263,22 @@ func (t *Thread) FlushOpt(addr uintptr) sim.Time {
 func (t *Thread) Fence(until sim.Time) {
 	t.checkSignals()
 	t.coro.AdvanceTo(until)
+	t.vtCharge(vtprof.MemStall)
 }
 
 // RDTSC reads the core timestamp counter (rdtscp), charging its cost.
 func (t *Thread) RDTSC() uint64 {
 	const rdtscpCycles = 32
 	t.coro.Advance(t.core.TimeForCycles(rdtscpCycles))
+	t.vtCharge(vtprof.Compute)
 	return t.core.TSC(t.coro.Clock())
 }
 
 // SpinUntilTSC spins (as Quartz's delay injection does) until the timestamp
-// counter reaches target, polling every pollCycles.
+// counter reaches target, polling every pollCycles. It charges no profiler
+// category itself: the emulator's injection path accounts the spin via
+// AccountInjected, and any other caller's spin folds into that thread's
+// next charged interval.
 //
 // The modeled spin's only observable effect is its final clock: the start
 // clock plus the smallest whole number of polls whose TSC reaches target.
@@ -260,6 +321,7 @@ func (t *Thread) Nanosleep(d sim.Time) error {
 	t.checkSignals()
 	deadline := t.coro.Clock() + d
 	woke := t.coro.SleepUntil(deadline)
+	t.vtCharge(vtprof.SyncWait)
 	if len(t.sigPending) > 0 {
 		t.checkSignals()
 		if woke < deadline {
@@ -291,10 +353,12 @@ func (t *Thread) Join(other *Thread) {
 	t.coro.Strict()
 	if other.done {
 		t.coro.AdvanceTo(other.endClock)
+		t.vtCharge(vtprof.SyncWait)
 		return
 	}
 	other.joiners = append(other.joiners, t)
 	t.coro.Block()
+	t.vtCharge(vtprof.SyncWait)
 	t.checkSignals()
 }
 
@@ -332,6 +396,7 @@ func (t *Thread) checkSignals() {
 		t.inHandler = true
 		t.Trace(trace.KindSignal, s.String())
 		t.coro.Advance(t.proc.cyc(t.proc.opts.SignalDeliveryCycles, t))
+		t.vtCharge(vtprof.SchedWait)
 		h(t, s)
 		t.inHandler = false
 	}

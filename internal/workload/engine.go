@@ -5,8 +5,24 @@ import (
 	"strconv"
 
 	"github.com/quartz-emu/quartz/internal/obs"
+	"github.com/quartz-emu/quartz/internal/obs/vtprof"
 	"github.com/quartz-emu/quartz/internal/sim"
 	"github.com/quartz-emu/quartz/internal/simos"
+)
+
+// Interned vtprof phases: the warmup/measure windows frame each pool
+// thread's run, and each operation runs under its kind's phase. Interning at
+// init keeps the per-op tagging free of strings and maps.
+var (
+	phaseWarmup  = vtprof.Intern("warmup")
+	phaseMeasure = vtprof.Intern("measure")
+	opPhases     = func() [NumOpKinds]vtprof.Phase {
+		var p [NumOpKinds]vtprof.Phase
+		for k := range p {
+			p[k] = vtprof.Intern("op:" + OpKind(k).String())
+		}
+		return p
+	}()
 )
 
 // Target is the application-side surface a scenario drives — the three
@@ -258,7 +274,12 @@ func (wk *worker) runOne(t *simos.Thread, i int32) bool {
 		}
 	}
 	op := nextOp(&wk.gen[i], cfg.Keys, sc.readMax, sc.updMax)
-	if err := applyOp(t, sc.target, op, cfg.Mix.ScanLen, uint64(wk.done[i])); err != nil {
+	// The op runs under its kind's phase; the due-time sleep above stays
+	// under the window phase (it is queueing, not op work).
+	t.PushPhase(opPhases[op.Kind])
+	err := applyOp(t, sc.target, op, cfg.Mix.ScanLen, uint64(wk.done[i]))
+	t.PopPhase()
+	if err != nil {
 		if sc.firstErr == nil {
 			sc.firstErr = err
 		}
@@ -328,6 +349,12 @@ func (wk *worker) runPhase(t *simos.Thread, limit int32, record bool) bool {
 	cfg := sc.cfg
 	start := t.Now()
 	wk.record = record
+	if record {
+		t.PushPhase(phaseMeasure)
+	} else {
+		t.PushPhase(phaseWarmup)
+	}
+	defer t.PopPhase()
 	if record {
 		wk.mStart = start
 	}

@@ -1,0 +1,99 @@
+#!/bin/sh
+# profile-smoke: end-to-end check of the virtual-time profiler.
+#
+# Runs a narrowed traffic-sweep through quartzbench with -vtprof and
+# -serve, probes the live /vtprof endpoint with `quartztop -once`, then
+# verifies the on-disk artifacts: `go tool pprof -top` must parse the
+# merged suite profile and attribute nonzero virtual time to inject_read
+# (the 600 ns NVM latency guarantees injected read stalls), and the folded
+# flame-graph text must agree. No fixed ports, no tools beyond the repo's
+# binaries and the Go toolchain's own pprof.
+set -eu
+
+workdir=$(mktemp -d)
+bench_pid=""
+cleanup() {
+    [ -n "$bench_pid" ] && kill "$bench_pid" 2>/dev/null || true
+    [ -n "$bench_pid" ] && wait "$bench_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "profile-smoke: building quartzbench and quartztop"
+go build -o "$workdir/quartzbench" ./cmd/quartzbench
+go build -o "$workdir/quartztop" ./cmd/quartztop
+
+# The profiles are written before the linger window opens, so once the
+# server lingers both the files and the live /vtprof snapshot are ready.
+"$workdir/quartzbench" -exp traffic-sweep -scale quick \
+    -traffic-clients 16 -traffic-mixes read-mostly -traffic-lats 600 \
+    -vtprof "$workdir/prof" \
+    -serve 127.0.0.1:0 -serve-linger 60s \
+    >"$workdir/stdout.log" 2>"$workdir/stderr.log" &
+bench_pid=$!
+
+addr=""
+for _ in $(seq 1 300); do
+    if grep -q "introspection server lingering" "$workdir/stderr.log" 2>/dev/null; then
+        addr=$(sed -n 's/.*serving introspection on \(http:[^ ]*\).*/\1/p' "$workdir/stderr.log" | head -n 1)
+        break
+    fi
+    if ! kill -0 "$bench_pid" 2>/dev/null; then
+        echo "profile-smoke: quartzbench exited before lingering" >&2
+        cat "$workdir/stderr.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "profile-smoke: server never reached the linger phase" >&2
+    cat "$workdir/stderr.log" >&2
+    exit 1
+fi
+echo "profile-smoke: probing $addr"
+
+# quartztop -once reports the live profile's size; a profiled run must
+# serve a nonzero pprof payload on /vtprof.
+"$workdir/quartztop" -addr "$addr" -once | tee "$workdir/probe.log"
+if ! grep -Eq 'vtprof: [1-9][0-9]* bytes' "$workdir/probe.log"; then
+    echo "profile-smoke: /vtprof served no profile bytes" >&2
+    exit 1
+fi
+
+kill -INT "$bench_pid"
+wait "$bench_pid" || {
+    echo "profile-smoke: quartzbench exited non-zero" >&2
+    cat "$workdir/stderr.log" >&2
+    exit 1
+}
+bench_pid=""
+
+for f in suite.pb.gz suite.folded; do
+    if ! [ -s "$workdir/prof/$f" ]; then
+        echo "profile-smoke: -vtprof wrote no $f" >&2
+        ls -l "$workdir/prof" >&2 || true
+        exit 1
+    fi
+done
+
+# The merged profile must be a well-formed pprof file with the injected
+# read latency showing up as attributed virtual time.
+go tool pprof -top -nodecount=200 "$workdir/prof/suite.pb.gz" \
+    >"$workdir/top.log" 2>"$workdir/pprof-err.log" || {
+    echo "profile-smoke: go tool pprof failed on suite.pb.gz" >&2
+    cat "$workdir/pprof-err.log" >&2
+    exit 1
+}
+if ! grep -q 'inject_read' "$workdir/top.log"; then
+    echo "profile-smoke: pprof -top attributes no time to inject_read" >&2
+    cat "$workdir/top.log" >&2
+    exit 1
+fi
+if ! grep -q 'inject_read' "$workdir/prof/suite.folded"; then
+    echo "profile-smoke: folded stacks miss inject_read" >&2
+    exit 1
+fi
+
+echo "profile-smoke: pprof -top summary:"
+head -n 12 "$workdir/top.log"
+echo "profile-smoke: OK"
